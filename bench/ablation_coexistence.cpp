@@ -1,0 +1,72 @@
+// Extension bench — coexistence: the paper assumes a quiet overlapped
+// spectrum (Sec. IV-A). Here ordinary WiFi traffic interferes with the
+// ZigBee channel at various signal-to-interference ratios:
+//  (a) how much background WiFi the authentic link tolerates,
+//  (b) whether the attack still lands through interference,
+//  (c) whether interference makes the defense false-alarm on authentic
+//      traffic (it distorts the constellation too!).
+#include "bench_common.h"
+#include "defense/detector.h"
+#include "sim/defense_run.h"
+#include "sim/interference.h"
+#include "sim/link.h"
+#include "sim/metrics.h"
+#include "zigbee/app.h"
+
+using namespace ctc;
+
+int main() {
+  dsp::Rng rng = bench::make_rng("Ablation: coexistence with background WiFi traffic");
+  const auto frames = zigbee::make_text_workload(20);
+  defense::Detector detector;  // default threshold 0.5; we report distances
+
+  sim::LinkConfig auth_config;
+  auth_config.environment = channel::Environment::awgn(17.0);
+  sim::LinkConfig emu_config = auth_config;
+  emu_config.kind = sim::LinkKind::emulated;
+  const sim::Link authentic(auth_config);
+  const sim::Link emulated(emu_config);
+  const zigbee::Receiver receiver;
+
+  sim::Table table({"SIR", "auth PER", "emu PER", "auth DE^2 mean",
+                    "emu DE^2 mean"});
+  for (double sir_db : {30.0, 20.0, 10.0, 5.0, 0.0}) {
+    sim::WifiInterferenceConfig interference;
+    interference.sir_db = sir_db;
+    std::size_t auth_fail = 0, emu_fail = 0;
+    rvec auth_d, emu_d;
+    const std::size_t trials = 60;
+    for (std::size_t i = 0; i < trials; ++i) {
+      for (const auto& [link, fail, distances] :
+           {std::tuple{&authentic, &auth_fail, &auth_d},
+            std::tuple{&emulated, &emu_fail, &emu_d}}) {
+        const cvec clean = link->clean_waveform(frames[i % frames.size()]);
+        const cvec with_wifi = sim::add_wifi_interference(clean, interference, rng);
+        const cvec received = auth_config.environment.propagate(with_wifi, rng);
+        const auto rx = receiver.receive(received);
+        if (!(rx.frame_ok())) ++*fail;
+        if (rx.freq_chips.size() >= 8) {
+          distances->push_back(detector.classify(rx.freq_chips).distance_sq);
+        }
+      }
+    }
+    auto mean = [](const rvec& v) {
+      if (v.empty()) return 0.0;
+      double acc = 0.0;
+      for (double x : v) acc += x;
+      return acc / static_cast<double>(v.size());
+    };
+    table.add_row({sim::Table::num(sir_db, 0) + "dB",
+                   sim::Table::num(static_cast<double>(auth_fail) / trials, 3),
+                   sim::Table::num(static_cast<double>(emu_fail) / trials, 3),
+                   sim::Table::num(mean(auth_d), 4), sim::Table::num(mean(emu_d), 4)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nreading: DSSS shrugs off moderate WiFi interference (the paper's\n"
+      "quiet-spectrum assumption is convenient, not essential, for the\n"
+      "attack), but strong interference inflates the authentic DE^2 toward\n"
+      "the emulated class — a defender must either sense-and-skip interfered\n"
+      "frames (CSMA gives it the tool) or raise the threshold at low SIR.\n");
+  return 0;
+}

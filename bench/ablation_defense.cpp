@@ -1,0 +1,115 @@
+// Ablation — defense design choices (DESIGN.md Sec. 6).
+//
+// (a) Receiver tap: the paper's defense reads the GNU Radio receiver's
+//     discriminator output. A coherent matched-filter tap sees a much
+//     cleaner emulated constellation (sign errors only) and separates far
+//     worse — the tap choice is load-bearing.
+// (b) Sample count D: cumulant estimator variance shrinks with D;
+//     short frames mean noisier features.
+// (c) Threshold sweep: detection/false-alarm trade-off around the
+//     calibrated Q (an ROC slice at 9 dB).
+// (d) C40 mode under phase offset: Re C40 false-alarms, |C40| does not.
+#include "bench_common.h"
+#include "channel/impairments.h"
+#include "defense/detector.h"
+#include "sim/defense_run.h"
+#include "zigbee/app.h"
+
+using namespace ctc;
+
+int main() {
+  dsp::Rng rng = bench::make_rng("Ablation: defense design choices");
+  const auto frames = zigbee::make_text_workload(50);
+  defense::Detector extractor;
+
+  sim::LinkConfig auth12;
+  auth12.environment = channel::Environment::awgn(12.0);
+  sim::LinkConfig emu12 = auth12;
+  emu12.kind = sim::LinkKind::emulated;
+  const sim::Link auth_link(auth12);
+  const sim::Link emu_link(emu12);
+
+  bench::section("(a) receiver tap at 12 dB (50 frames each)");
+  sim::Table tap_table({"tap", "auth DE^2 mean", "emu DE^2 mean", "gap (x)"});
+  for (auto tap : {sim::DefenseTap::discriminator, sim::DefenseTap::coherent}) {
+    const auto a = sim::collect_defense_samples(auth_link, frames, 50, extractor,
+                                                rng, tap);
+    const auto e = sim::collect_defense_samples(emu_link, frames, 50, extractor,
+                                                rng, tap);
+    tap_table.add_row(
+        {tap == sim::DefenseTap::discriminator ? "discriminator" : "coherent",
+         sim::Table::num(a.mean_distance(), 4), sim::Table::num(e.mean_distance(), 4),
+         sim::Table::num(e.mean_distance() / a.mean_distance(), 1)});
+  }
+  tap_table.print(std::cout);
+  std::printf("expectation: the discriminator tap separates by a much larger\n"
+              "factor — it is what makes the paper's defense practical.\n");
+
+  bench::section("(b) sample count D: feature spread of authentic frames @12 dB");
+  sim::Table d_table({"payload bytes", "D (points)", "DE^2 mean", "DE^2 max"});
+  for (std::size_t payload : {2u, 5u, 20u, 60u}) {
+    zigbee::MacFrame frame;
+    frame.payload.assign(payload, 0x5A);
+    const std::vector<zigbee::MacFrame> workload = {frame};
+    const auto samples =
+        sim::collect_defense_samples(auth_link, workload, 40, extractor, rng);
+    const std::size_t points = (11 + payload) * 2 * 32 / 2;  // PSDU chips / 2
+    d_table.add_row({std::to_string(payload), std::to_string(points),
+                     sim::Table::num(samples.mean_distance(), 4),
+                     sim::Table::num(samples.max_distance(), 4)});
+  }
+  d_table.print(std::cout);
+  std::printf("observation: even the shortest frames (a few hundred points)\n"
+              "already give features an order of magnitude below the emulated\n"
+              "class — per-frame detection needs no pooling across frames.\n");
+
+  bench::section("(c) threshold sweep at 9 dB (100 frames per class)");
+  sim::LinkConfig auth9;
+  auth9.environment = channel::Environment::awgn(9.0);
+  sim::LinkConfig emu9 = auth9;
+  emu9.kind = sim::LinkKind::emulated;
+  const auto a9 = sim::collect_defense_samples(sim::Link(auth9), frames, 100,
+                                               extractor, rng);
+  const auto e9 = sim::collect_defense_samples(sim::Link(emu9), frames, 100,
+                                               extractor, rng);
+  sim::Table roc({"threshold Q", "false alarm", "missed attack"});
+  for (double q : {0.05, 0.1, 0.2, 0.3, 0.5, 1.0}) {
+    std::size_t false_alarm = 0;
+    for (double d : a9.distances) false_alarm += d >= q;
+    std::size_t missed = 0;
+    for (double d : e9.distances) missed += d < q;
+    roc.add_row({sim::Table::num(q, 2),
+                 sim::Table::percent(static_cast<double>(false_alarm) /
+                                     static_cast<double>(a9.frames_used)),
+                 sim::Table::percent(static_cast<double>(missed) /
+                                     static_cast<double>(e9.frames_used))});
+  }
+  roc.print(std::cout);
+
+  bench::section("(d) C40 mode under a 20-degree residual phase offset");
+  // Build rotated authentic features directly.
+  dsp::Rng rotation_rng(bench::kDefaultSeed + 1);
+  rvec chips(4096);
+  for (auto& c : chips) c = (rotation_rng.bit() ? 1.0 : -1.0) + 0.2 * rotation_rng.gaussian();
+  const double theta = 20.0 * kPi / 180.0;
+  rvec rotated(chips.size());
+  for (std::size_t i = 0; i + 1 < chips.size(); i += 2) {
+    const cplx p = cplx{chips[i], chips[i + 1]} * std::polar(1.0, theta);
+    rotated[i] = p.real();
+    rotated[i + 1] = p.imag();
+  }
+  defense::DetectorConfig real_mode;
+  defense::DetectorConfig mag_mode;
+  mag_mode.c40_mode = defense::C40Mode::magnitude;
+  sim::Table c40_table({"mode", "DE^2 (authentic, rotated)", "verdict"});
+  for (const auto& [name, config] :
+       {std::pair{"Re C40", real_mode}, std::pair{"|C40|", mag_mode}}) {
+    const auto verdict = defense::Detector(config).classify(rotated);
+    c40_table.add_row({name, sim::Table::num(verdict.distance_sq, 4),
+                       verdict.is_attack ? "ATTACK (false alarm)" : "authentic"});
+  }
+  c40_table.print(std::cout);
+  std::printf("expectation (Sec. VI-C): Re C40 false-alarms under rotation;\n"
+              "|C40| stays authentic — hence the real-environment mode switch.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Extension bench — hierarchical cumulant-based modulation classification
+// (the Swami-Sadler method the paper's defense specializes; Sec. II-B).
+//
+// Prints a confusion matrix over the Table III constellations at two SNRs
+// (with noise correction), then classifies the defense's reconstructed
+// constellations: authentic traffic should rank QPSK first, the emulated
+// attack should not.
+#include "bench_common.h"
+#include "defense/amc.h"
+#include "dsp/constellation.h"
+#include "dsp/stats.h"
+#include "sim/defense_run.h"
+#include "sim/link.h"
+#include "zigbee/app.h"
+
+using namespace ctc;
+
+namespace {
+
+cvec constellation_of(defense::ModulationClass klass) {
+  using MC = defense::ModulationClass;
+  switch (klass) {
+    case MC::bpsk: return dsp::make_psk(2);
+    case MC::qpsk: return dsp::make_psk(4);
+    case MC::psk_higher: return dsp::make_psk(8);
+    case MC::pam4: return dsp::make_pam(4);
+    case MC::pam8: return dsp::make_pam(8);
+    case MC::pam16: return dsp::make_pam(16);
+    case MC::qam16: return dsp::make_qam(16);
+    case MC::qam64: return dsp::make_qam(64);
+    case MC::qam256: return dsp::make_qam(256);
+  }
+  return {};
+}
+
+constexpr defense::ModulationClass kClasses[] = {
+    defense::ModulationClass::bpsk,  defense::ModulationClass::qpsk,
+    defense::ModulationClass::psk_higher, defense::ModulationClass::pam4,
+    defense::ModulationClass::pam8,  defense::ModulationClass::pam16,
+    defense::ModulationClass::qam16, defense::ModulationClass::qam64,
+    defense::ModulationClass::qam256,
+};
+
+}  // namespace
+
+int main() {
+  dsp::Rng rng = bench::make_rng("Extension: cumulant modulation classifier");
+
+  for (double snr_db : {20.0, 10.0}) {
+    bench::section(("confusion matrix at " + sim::Table::num(snr_db, 0) +
+                    " dB (200 trials x 4096 samples, noise-corrected)")
+                       .c_str());
+    std::vector<std::string> header = {"true \\ decided"};
+    for (auto klass : kClasses) header.push_back(defense::to_string(klass));
+    sim::Table table(header);
+    const double noise_variance = dsp::from_db(-snr_db);
+    for (auto truth : kClasses) {
+      const cvec constellation = constellation_of(truth);
+      std::vector<std::size_t> counts(std::size(kClasses), 0);
+      for (int trial = 0; trial < 200; ++trial) {
+        cvec samples(4096);
+        for (auto& s : samples) {
+          s = constellation[rng.uniform_index(constellation.size())] +
+              rng.complex_gaussian(noise_variance);
+        }
+        defense::AmcConfig config;
+        config.noise_variance = noise_variance;
+        const auto result = defense::classify_modulation(samples, config);
+        for (std::size_t c = 0; c < std::size(kClasses); ++c) {
+          if (kClasses[c] == result.best) ++counts[c];
+        }
+      }
+      std::vector<std::string> row = {defense::to_string(truth)};
+      for (std::size_t c = 0; c < std::size(kClasses); ++c) {
+        row.push_back(counts[c] ? std::to_string(counts[c]) : ".");
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+  }
+  std::printf(
+      "\nnote: the dense QAM rows (and 8/16-PAM) share nearly identical\n"
+      "fourth-order cumulants (Table III rows within 0.03), so they confuse\n"
+      "among themselves — the known limitation of 4th-order-only features.\n");
+
+  bench::section("classifying the defense tap (12 dB, 20 frames each)");
+  const auto frames = zigbee::make_text_workload(20);
+  sim::LinkConfig authentic;
+  authentic.environment = channel::Environment::awgn(12.0);
+  sim::LinkConfig emulated = authentic;
+  emulated.kind = sim::LinkKind::emulated;
+  for (const auto& [name, config] :
+       {std::pair{"authentic", authentic}, std::pair{"emulated ", emulated}}) {
+    const sim::Link link(config);
+    std::size_t qpsk_votes = 0;
+    std::size_t frames_used = 0;
+    for (std::size_t i = 0; i < 20; ++i) {
+      const auto observation = link.send(frames[i], rng);
+      if (observation.rx.freq_chips.size() < 8) continue;
+      const cvec points = defense::build_constellation(observation.rx.freq_chips);
+      const auto result = defense::classify_modulation(points);
+      qpsk_votes += result.best == defense::ModulationClass::qpsk;
+      ++frames_used;
+    }
+    std::printf("%s: classified QPSK in %zu/%zu frames\n", name, qpsk_votes,
+                frames_used);
+  }
+  std::printf("shape check: authentic constellations classify as QPSK; the\n"
+              "attack's distorted clouds do not -> the binary detector of\n"
+              "Sec. VI is the specialization of this classifier.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Shared helpers for the reproduction bench binaries. Every bench prints its
+// RNG seed and the paper's reference numbers next to the measured ones.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "dsp/rng.h"
+#include "sim/table.h"
+
+namespace ctc::bench {
+
+inline constexpr std::uint64_t kDefaultSeed = 20190707;  // ICDCS'19
+
+inline dsp::Rng make_rng(const char* bench_name) {
+  std::printf("=== %s ===\n", bench_name);
+  std::printf("seed: %llu\n\n", static_cast<unsigned long long>(kDefaultSeed));
+  return dsp::Rng(kDefaultSeed);
+}
+
+inline void section(const char* title) { std::printf("\n--- %s ---\n", title); }
+
+}  // namespace ctc::bench

@@ -1,0 +1,52 @@
+// Fig. 7 — Hamming distance distribution of received chip sequences.
+//
+// The 100-packet text workload ("00000".."00099") at high SNR, for both the
+// authentic and the emulated link. Paper: authentic chips match exactly
+// (distance 0); emulated chips show 4-8 errors per 32-chip sequence, all
+// under the DSSS threshold, so every symbol still decodes.
+#include "bench_common.h"
+#include "sim/link.h"
+#include "sim/metrics.h"
+#include "zigbee/app.h"
+
+using namespace ctc;
+
+int main() {
+  dsp::Rng rng = bench::make_rng("Fig. 7: Hamming distance distribution");
+  const auto frames = zigbee::make_text_workload(100);
+
+  auto histogram_of = [&](sim::LinkKind kind) {
+    sim::LinkConfig config;
+    config.kind = kind;
+    config.environment = channel::Environment::awgn(30.0);  // high SNR
+    return sim::run_frames(sim::Link(config), frames, 100, rng);
+  };
+  const auto authentic = histogram_of(sim::LinkKind::authentic);
+  const auto emulated = histogram_of(sim::LinkKind::emulated);
+
+  auto total = [](const sim::LinkStats& stats) {
+    std::size_t n = 0;
+    for (const auto& [d, c] : stats.hamming_histogram) n += c;
+    return n;
+  };
+  const double auth_total = static_cast<double>(total(authentic));
+  const double emu_total = static_cast<double>(total(emulated));
+
+  sim::Table table({"Hamming distance", "authentic (fraction)", "emulated (fraction)"});
+  for (std::size_t d = 0; d <= 10; ++d) {
+    const auto a = authentic.hamming_histogram.count(d)
+                       ? authentic.hamming_histogram.at(d) : 0;
+    const auto e = emulated.hamming_histogram.count(d)
+                       ? emulated.hamming_histogram.at(d) : 0;
+    table.add_row({std::to_string(d), sim::Table::num(a / auth_total, 3),
+                   sim::Table::num(e / emu_total, 3)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nauthentic frames decoded: %zu/%zu, emulated: %zu/%zu\n",
+              authentic.frames_ok, authentic.frames_sent, emulated.frames_ok,
+              emulated.frames_sent);
+  std::printf("paper: authentic mass at distance 0; emulated mass at 4-8,\n"
+              "all decodable with a feasible threshold (DSSS error resilience).\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Figs. 8 & 9 — why the "possible" defensive strategies of Sec. VI-A1 fail.
+//
+// Fig. 8: received I/Q at 17 dB — the cyclic-prefix repetition is invisible
+//         under noise (we quantify it with the CP autocorrelation metric).
+// Fig. 9a: OQPSK demodulation output (instantaneous frequency) — identical
+//         trends for authentic and emulated frames.
+// Fig. 9b: chip amplitudes after hard decision — different chips, same
+//         decoded symbols.
+#include <cmath>
+
+#include "bench_common.h"
+#include "sim/link.h"
+#include "zigbee/app.h"
+
+using namespace ctc;
+
+namespace {
+
+// Normalized CP autocorrelation at 4 MHz: correlate the first 0.8 us of each
+// 4 us block against its last 0.8 us (the detection a CP-hunting defender
+// would run). 1.0 = perfect repetition.
+double cp_metric(const cvec& wave) {
+  cplx correlation{0.0, 0.0};
+  double energy = 0.0;
+  // At 4 MHz: block = 16 samples, CP = 3.2 samples -> use the 20 MHz grid
+  // equivalent: compare samples [0,3) with [12.8..] ~ [13,16).
+  for (std::size_t block = 0; block * 16 + 16 <= wave.size(); ++block) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const cplx head = wave[block * 16 + i];
+      const cplx tail = wave[block * 16 + 13 + i];
+      correlation += head * std::conj(tail);
+      energy += 0.5 * (std::norm(head) + std::norm(tail));
+    }
+  }
+  return std::abs(correlation) / energy;
+}
+
+}  // namespace
+
+int main() {
+  dsp::Rng rng = bench::make_rng("Figs. 8-9: possible strategies fail");
+  const auto frame = zigbee::make_text_frame(0, 0);
+
+  sim::LinkConfig authentic;
+  authentic.environment = channel::Environment::awgn(17.0);
+  sim::LinkConfig emulated = authentic;
+  emulated.kind = sim::LinkKind::emulated;
+  const sim::Link auth_link(authentic);
+  const sim::Link emu_link(emulated);
+
+  bench::section("Fig. 8: received waveform (I/Q) at SNR = 17 dB");
+  const cvec auth_clean = auth_link.clean_waveform(frame);
+  const cvec emu_clean = emu_link.clean_waveform(frame);
+  const cvec auth_rx = authentic.environment.propagate(auth_clean, rng);
+  const cvec emu_rx = emulated.environment.propagate(emu_clean, rng);
+  sim::Table wave_table({"n", "auth I", "auth Q", "emu I", "emu Q"});
+  for (std::size_t i = 800; i < 832; i += 2) {
+    wave_table.add_row({std::to_string(i), sim::Table::num(auth_rx[i].real(), 3),
+                        sim::Table::num(auth_rx[i].imag(), 3),
+                        sim::Table::num(emu_rx[i].real(), 3),
+                        sim::Table::num(emu_rx[i].imag(), 3)});
+  }
+  wave_table.print(std::cout);
+
+  bench::section("CP-repetition detector (normalized autocorrelation)");
+  sim::LinkConfig emulated7 = emulated;
+  emulated7.environment = channel::Environment::awgn(7.0);
+  channel::Environment real5 = channel::Environment::real_world(5.0);
+  channel::Environment real5_mp = real5;
+  channel::MultipathProfile delay_spread;
+  delay_spread.num_taps = 3;  // ~0.5 us delay spread at 4 MHz
+  delay_spread.decay_per_tap_db = 3.0;
+  real5_mp.multipath = delay_spread;
+  sim::Table cp_table(
+      {"waveform", "noiseless", "17 dB", "7 dB", "flat fading @5m", "multipath @5m"});
+  cp_table.add_row(
+      {"authentic", sim::Table::num(cp_metric(auth_clean), 3),
+       sim::Table::num(cp_metric(auth_rx), 3),
+       sim::Table::num(cp_metric(channel::Environment::awgn(7.0).propagate(auth_clean, rng)), 3),
+       sim::Table::num(cp_metric(real5.propagate(auth_clean, rng)), 3),
+       sim::Table::num(cp_metric(real5_mp.propagate(auth_clean, rng)), 3)});
+  cp_table.add_row(
+      {"emulated", sim::Table::num(cp_metric(emu_clean), 3),
+       sim::Table::num(cp_metric(emu_rx), 3),
+       sim::Table::num(cp_metric(emulated7.environment.propagate(emu_clean, rng)), 3),
+       sim::Table::num(cp_metric(real5.propagate(emu_clean, rng)), 3),
+       sim::Table::num(cp_metric(real5_mp.propagate(emu_clean, rng)), 3)});
+  cp_table.print(std::cout);
+  std::printf(
+      "paper's claim: noise/fading hide the CP repetition. Our measurement is\n"
+      "more nuanced (see EXPERIMENTS.md): over a *flat* channel the metric\n"
+      "still separates; it needs exact 4 us grid alignment, and delay spread\n"
+      "(multipath column) erodes it, which the paper's cluttered lab provides.\n"
+      "The cumulant defense needs neither alignment nor a flat channel.\n");
+
+  bench::section("Fig. 9a: OQPSK demodulation output (frequency chips)");
+  zigbee::Receiver receiver;
+  const auto auth_result = receiver.receive(auth_rx);
+  const auto emu_result = receiver.receive(emu_rx);
+  sim::Table freq_table({"chip", "authentic f", "emulated f"});
+  for (std::size_t i = 64; i < 84; ++i) {
+    freq_table.add_row({std::to_string(i),
+                        sim::Table::num(auth_result.freq_chips[i], 3),
+                        sim::Table::num(emu_result.freq_chips[i], 3)});
+  }
+  freq_table.print(std::cout);
+  std::printf("trend is the same +-1 chip pattern for both -> not a usable tell.\n");
+
+  bench::section("Fig. 9b: hard chips differ, decoded symbols agree");
+  std::size_t chip_diffs = 0;
+  const std::size_t chips = std::min(auth_result.hard_chips.size(),
+                                     emu_result.hard_chips.size());
+  for (std::size_t i = 0; i < chips; ++i) {
+    if (auth_result.hard_chips[i] != emu_result.hard_chips[i]) ++chip_diffs;
+  }
+  std::printf("chip disagreement: %zu of %zu chips (%.1f%%)\n", chip_diffs, chips,
+              100.0 * static_cast<double>(chip_diffs) / static_cast<double>(chips));
+  std::printf("authentic decoded: %s | emulated decoded: %s | same payload: %s\n",
+              auth_result.frame_ok() ? "yes" : "no",
+              emu_result.frame_ok() ? "yes" : "no",
+              (auth_result.psdu == emu_result.psdu) ? "yes" : "no");
+  std::printf("paper's point: DSSS tolerance maps different chips to the same\n"
+              "symbols, so chip sequences cannot expose the attacker either.\n");
+  return 0;
+}

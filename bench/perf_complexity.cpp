@@ -1,0 +1,116 @@
+// Sec. VII-A — complexity analysis, measured with google-benchmark.
+//
+// Claims reproduced:
+//  * the waveform emulation attack is O(M) in the number of observed ZigBee
+//    samples (fixed 64-point FFT per 80-sample slot);
+//  * the defense's fourth-order cumulant estimation is O(N) in the number of
+//    complex samples;
+//  * the two-step subcarrier selection is O(M) coarse + O(n) detailed;
+//  * the 64-point FFT plan itself is O(N log N) across sizes.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "attack/emulator.h"
+#include "attack/subcarrier_select.h"
+#include "defense/cumulants.h"
+#include "defense/detector.h"
+#include "dsp/fft.h"
+#include "dsp/rng.h"
+#include "zigbee/oqpsk.h"
+
+using namespace ctc;
+
+namespace {
+
+cvec zigbee_like_waveform(std::size_t chips, std::uint64_t seed) {
+  dsp::Rng rng(seed);
+  std::vector<std::uint8_t> stream(chips);
+  for (auto& c : stream) c = rng.bit();
+  return zigbee::OqpskModulator(2).modulate(stream);
+}
+
+void BM_AttackEmulate(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const cvec observed = zigbee_like_waveform(samples / 2, 300);
+  attack::EmulatorConfig config;
+  config.kept_bins = attack::SubcarrierSelector::paper_default_bins();
+  config.alpha = std::sqrt(26.0);
+  const attack::WaveformEmulator emulator(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emulator.emulate(observed));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(observed.size()));
+}
+BENCHMARK(BM_AttackEmulate)->RangeMultiplier(2)->Range(512, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_DefenseCumulants(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::Rng rng(301);
+  cvec samples(n);
+  for (auto& s : samples) s = rng.complex_gaussian(1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(defense::estimate_cumulants(samples));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DefenseCumulants)->RangeMultiplier(4)->Range(256, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_DefenseClassify(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::Rng rng(302);
+  rvec chips(n);
+  for (auto& c : chips) c = (rng.bit() ? 1.0 : -1.0) + 0.2 * rng.gaussian();
+  defense::Detector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.classify(chips));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DefenseClassify)->RangeMultiplier(4)->Range(256, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_SubcarrierSelection(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const cvec observed = zigbee_like_waveform(samples / 2, 303);
+  attack::SubcarrierSelector selector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select_from_waveform(observed));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(observed.size()));
+}
+BENCHMARK(BM_SubcarrierSelection)->RangeMultiplier(2)->Range(1024, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_FftForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::Rng rng(304);
+  cvec x(n);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  const dsp::FftPlan plan(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.forward(x));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftForward)->RangeMultiplier(2)->Range(64, 4096)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_QamQuantizeScaleSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::Rng rng(305);
+  cvec points(n);
+  for (auto& p : points) p = rng.complex_gaussian(400.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::optimize_scale(points));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_QamQuantizeScaleSearch)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

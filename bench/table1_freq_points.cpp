@@ -1,0 +1,54 @@
+// Table I — Frequency points of the observed ZigBee waveform.
+//
+// Prints the 64-point FFT magnitudes of six consecutive WiFi-symbol windows
+// of a real ZigBee frame (rows 1-7 and 55-64 as in the paper), the coarse
+// highlight counts, and the chosen subcarrier indexes. Paper outcome:
+// indexes 1-4 and 62-64 (1-based) are chosen.
+#include "attack/subcarrier_select.h"
+#include "bench_common.h"
+#include "dsp/resample.h"
+#include "zigbee/app.h"
+#include "zigbee/transmitter.h"
+
+using namespace ctc;
+
+int main() {
+  bench::make_rng("Table I: frequency points of the ZigBee waveform");
+
+  zigbee::Transmitter tx;
+  const cvec observed = tx.transmit_frame(zigbee::make_text_frame(0, 0));
+  const cvec upsampled = dsp::upsample(observed, 5);
+
+  attack::SubcarrierSelector selector;
+  const auto magnitudes = selector.window_magnitudes(upsampled);
+  const auto result = selector.select(magnitudes);
+
+  const std::size_t windows = std::min<std::size_t>(6, magnitudes.size());
+  std::vector<std::string> header = {"Index"};
+  for (std::size_t w = 0; w < windows; ++w) header.push_back(std::to_string(w + 1));
+  sim::Table table(header);
+  auto add_row = [&](std::size_t bin) {
+    std::vector<std::string> row = {std::to_string(bin + 1)};  // paper is 1-based
+    for (std::size_t w = 0; w < windows; ++w) {
+      row.push_back(sim::Table::num(magnitudes[w][bin], 4));
+    }
+    table.add_row(row);
+  };
+  for (std::size_t bin = 0; bin < 7; ++bin) add_row(bin);
+  for (std::size_t bin = 54; bin < 64; ++bin) add_row(bin);
+  table.print(std::cout);
+
+  bench::section("coarse estimation (votes above threshold 3)");
+  sim::Table votes({"Index (1-based)", "votes", "windows"});
+  for (std::size_t bin : {0u, 1u, 2u, 3u, 4u, 61u, 62u, 63u}) {
+    votes.add_row({std::to_string(bin + 1), std::to_string(result.votes[bin]),
+                   std::to_string(magnitudes.size())});
+  }
+  votes.print(std::cout);
+
+  bench::section("detailed estimation (chosen subcarriers)");
+  std::printf("measured (1-based):");
+  for (std::size_t bin : result.bins) std::printf(" %zu", bin + 1);
+  std::printf("\npaper:              1 2 3 4 62 63 64\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table II — Emulation attack performance under AWGN.
+//
+// 1000 emulated frames per SNR from 7 to 17 dB; a frame "succeeds" when the
+// ZigBee receiver decodes it end to end (SHR + PHR + DSSS threshold + FCS).
+// Paper: 42.4 / 69.2 / 87.4 / 93.3 / 97.2 / 100 %.
+#include "bench_common.h"
+#include "sim/link.h"
+#include "sim/metrics.h"
+#include "zigbee/app.h"
+
+using namespace ctc;
+
+int main() {
+  dsp::Rng rng = bench::make_rng("Table II: emulation attack success rate under AWGN");
+  const auto frames = zigbee::make_text_workload(100);
+  constexpr std::size_t kFramesPerPoint = 1000;
+
+  const double paper[] = {42.4, 69.2, 87.4, 93.3, 97.2, 100.0};
+  sim::Table table({"SNR", "successful rate (measured)", "paper", "authentic link"});
+  int row = 0;
+  for (double snr : {7.0, 9.0, 11.0, 13.0, 15.0, 17.0}) {
+    sim::LinkConfig attack;
+    attack.kind = sim::LinkKind::emulated;
+    attack.environment = channel::Environment::awgn(snr);
+    const auto attack_stats =
+        sim::run_frames(sim::Link(attack), frames, kFramesPerPoint, rng);
+
+    sim::LinkConfig authentic;
+    authentic.environment = channel::Environment::awgn(snr);
+    const auto auth_stats = sim::run_frames(sim::Link(authentic), frames, 200, rng);
+
+    table.add_row({sim::Table::num(snr, 0) + "dB",
+                   sim::Table::percent(attack_stats.success_rate()),
+                   sim::Table::num(paper[row++], 1) + "%",
+                   sim::Table::percent(auth_stats.success_rate())});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nshape check: success rises with SNR and saturates at 100%% by 17 dB,\n"
+      "while the authentic link stays near 100%% over the whole range.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// The CTC waveform emulation attack, end to end (Secs. IV-V of the paper).
+//
+//   $ ./attack_demo
+//
+// Walks the full adversarial model: (1) the attacker eavesdrops a ZigBee
+// control frame; (2) reverses the WiFi transmit chain to hide the waveform
+// inside 64-QAM OFDM symbols; (3) allocates the quantized subcarriers onto
+// its real WiFi channel (2440 MHz) so the 2 MHz heart lands on the victim's
+// ZigBee channel 17 (2435 MHz); (4) transmits; the victim decodes the frame
+// as if it came from its gateway.
+#include <cstdio>
+
+#include "attack/bit_extract.h"
+#include "attack/carrier_allocation.h"
+#include "attack/emulator.h"
+#include "channel/environment.h"
+#include "dsp/rng.h"
+#include "dsp/stats.h"
+#include "wifi/ofdm.h"
+#include "zigbee/receiver.h"
+#include "zigbee/transmitter.h"
+
+int main() {
+  using namespace ctc;
+  dsp::Rng rng(7);
+
+  // --- t1: the gateway sends a control message; the attacker listens. ---
+  zigbee::MacFrame control;
+  control.sequence = 88;
+  control.dest_addr = 0x00D0;  // smart door lock
+  control.payload = {'U', 'N', 'L', 'O', 'C', 'K'};
+  const zigbee::Transmitter gateway;
+  const cvec observed = gateway.transmit_frame(control);
+  std::printf("[attacker] eavesdropped %zu samples of the ZigBee channel\n",
+              observed.size());
+
+  // --- t2: reverse-engineer WiFi symbols that emulate the waveform. ---
+  attack::WaveformEmulator emulator;  // selects subcarriers, optimizes alpha
+  const attack::EmulationResult emulation = emulator.emulate(observed);
+  std::printf("[attacker] kept FFT bins:");
+  for (std::size_t bin : emulation.kept_bins) std::printf(" %zu", bin + 1);
+  std::printf(" (paper: 1-4, 62-64)\n");
+  std::printf("[attacker] QAM scale alpha = %.3f, %zu WiFi symbols\n",
+              emulation.diagnostics.front().alpha, emulation.symbol_grids.size());
+  std::printf("[attacker] emulation NMSE vs observed waveform: %.3f\n",
+              dsp::nmse(observed, emulation.emulated_4mhz));
+
+  // --- carrier allocation: place the ZigBee band at -5 MHz in the WiFi
+  //     baseband (data subcarriers [-20, -8]) and extract the WiFi bits. ---
+  const attack::CarrierPlan plan;  // ZigBee ch17 @2435, WiFi @2440
+  const attack::ExtractedBits bits = attack::extract_wifi_bits(
+      emulation.symbol_grids, emulation.diagnostics.front().alpha, plan);
+  std::printf("[attacker] subcarrier shift %d, %zu coded bits per symbol, tx gain %.2f\n",
+              plan.subcarrier_shift(),
+              bits.interleaved_bits_per_symbol.front().size(), bits.tx_gain);
+
+  // Modulate the real 20 MHz WiFi waveform from the allocated grids.
+  cvec wifi_waveform;
+  for (const cvec& grid : emulation.symbol_grids) {
+    const cvec symbol = wifi::grid_to_time(attack::allocate_to_wifi_grid(grid, plan));
+    wifi_waveform.insert(wifi_waveform.end(), symbol.begin(), symbol.end());
+  }
+  std::printf("[attacker] transmitting %zu samples at 20 MHz on 2440 MHz\n",
+              wifi_waveform.size());
+
+  // --- the victim: ZigBee front end at 2435 MHz + AWGN channel. ---
+  cvec at_victim = attack::wifi_band_to_zigbee_baseband(wifi_waveform, plan);
+  at_victim.resize(observed.size());
+  const cvec received =
+      channel::Environment::awgn(15.0).propagate(dsp::normalize_power(at_victim), rng);
+
+  const zigbee::Receiver victim;
+  const zigbee::ReceiveResult result = victim.receive(received);
+  if (result.frame_ok()) {
+    std::printf("[victim]   decoded frame seq=%u payload=\"%.*s\" — door unlocked!\n",
+                result.mac->sequence, static_cast<int>(result.mac->payload.size()),
+                reinterpret_cast<const char*>(result.mac->payload.data()));
+    std::printf("[victim]   chip Hamming distances (first 8):");
+    for (std::size_t i = 0; i < 8 && i < result.hamming_distances.size(); ++i) {
+      std::printf(" %zu", result.hamming_distances[i]);
+    }
+    std::printf("  — all under the DSSS threshold, nothing looks wrong.\n");
+    return 0;
+  }
+  std::printf("[victim]   frame rejected (attack failed)\n");
+  return 1;
+}

@@ -1,0 +1,65 @@
+// The constellation higher-order-statistics defense (Sec. VI).
+//
+//   $ ./defense_demo
+//
+// Calibrates the DE^2 threshold from labeled training frames (the paper's
+// procedure: 50 frames per class), then classifies held-out traffic from
+// both an authentic gateway and a WiFi emulation attacker.
+#include <cstdio>
+
+#include "defense/detector.h"
+#include "sim/defense_run.h"
+#include "sim/link.h"
+#include "zigbee/app.h"
+
+int main() {
+  using namespace ctc;
+  dsp::Rng rng(21);
+  const auto frames = zigbee::make_text_workload(100);
+
+  // Two links into the same receiver at 12 dB.
+  sim::LinkConfig authentic_config;
+  authentic_config.environment = channel::Environment::awgn(12.0);
+  sim::LinkConfig attack_config = authentic_config;
+  attack_config.kind = sim::LinkKind::emulated;
+  const sim::Link gateway(authentic_config);
+  const sim::Link attacker(attack_config);
+
+  // --- calibration phase -------------------------------------------------
+  defense::Detector extractor;  // default config, used for features only
+  const auto train_auth = sim::collect_defense_samples(gateway, frames, 50,
+                                                       extractor, rng);
+  const auto train_att = sim::collect_defense_samples(attacker, frames, 50,
+                                                      extractor, rng);
+  std::printf("training: authentic DE^2 in [%.4f, %.4f], emulated in [%.4f, %.4f]\n",
+              train_auth.min_distance(), train_auth.max_distance(),
+              train_att.min_distance(), train_att.max_distance());
+  const double threshold = defense::Detector::calibrate_threshold(
+      train_auth.distances, train_att.distances);
+  std::printf("calibrated threshold Q = %.4f (paper uses 0.5 on their hardware)\n\n",
+              threshold);
+
+  // --- detection phase ----------------------------------------------------
+  defense::DetectorConfig config;
+  config.threshold = threshold;
+  const defense::Detector detector(config);
+
+  int correct = 0;
+  int total = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const bool attack_turn = trial % 2 == 1;
+    const sim::Link& link = attack_turn ? attacker : gateway;
+    const auto observation = link.send(frames[trial], rng);
+    if (observation.rx.freq_chips.size() < 8) continue;
+    const defense::Verdict verdict = detector.classify(observation.rx.freq_chips);
+    const bool right = verdict.is_attack == attack_turn;
+    correct += right;
+    ++total;
+    std::printf("frame %2d from %-8s  DE^2 = %6.4f  -> %-9s %s\n", trial,
+                attack_turn ? "ATTACKER" : "gateway", verdict.distance_sq,
+                verdict.is_attack ? "H1 attack" : "H0 ok",
+                right ? "" : "  (WRONG)");
+  }
+  std::printf("\ndetection accuracy: %d/%d\n", correct, total);
+  return correct == total ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Quickstart: send one ZigBee frame over a noisy channel and decode it.
+//
+//   $ ./quickstart
+//
+// Shows the minimal public API surface: build a MAC frame, run the 802.15.4
+// transmitter, push the waveform through an AWGN channel, decode at the
+// receiver, and inspect the result.
+#include <cstdio>
+
+#include "channel/environment.h"
+#include "dsp/rng.h"
+#include "zigbee/receiver.h"
+#include "zigbee/transmitter.h"
+
+int main() {
+  using namespace ctc;
+
+  // 1. Build a MAC data frame carrying an application payload.
+  zigbee::MacFrame frame;
+  frame.sequence = 1;
+  frame.dest_addr = 0x0042;                      // the smart light bulb
+  frame.src_addr = 0x0001;                       // the ZigBee gateway
+  frame.payload = {'h', 'e', 'l', 'l', 'o'};
+
+  // 2. Transmit: PPDU framing, DSSS spreading, half-sine O-QPSK at 4 MHz.
+  const zigbee::Transmitter transmitter;
+  const cvec waveform = transmitter.transmit_frame(frame);
+  std::printf("transmitted %zu baseband samples (%.1f us)\n", waveform.size(),
+              static_cast<double>(waveform.size()) / 4.0);
+
+  // 3. Channel: AWGN at 12 dB SNR.
+  dsp::Rng rng(1);
+  const auto environment = channel::Environment::awgn(12.0);
+  const cvec received = environment.propagate(waveform, rng);
+
+  // 4. Receive: synchronization is implicit (frame-aligned capture here);
+  //    the receiver equalizes, demodulates, despreads and checks the FCS.
+  const zigbee::Receiver receiver;  // default profile: USRP-like chain
+  const zigbee::ReceiveResult result = receiver.receive(received);
+
+  std::printf("SHR detected: %s, PHR ok: %s, all symbols in threshold: %s\n",
+              result.shr_ok ? "yes" : "no", result.phr_ok ? "yes" : "no",
+              result.psdu_complete ? "yes" : "no");
+  if (result.mac) {
+    std::printf("decoded frame seq=%u payload=\"%.*s\" (FCS ok)\n",
+                result.mac->sequence, static_cast<int>(result.mac->payload.size()),
+                reinterpret_cast<const char*>(result.mac->payload.data()));
+  } else {
+    std::printf("frame did not decode\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// The paper's motivating scenario (Sec. I): a WiFi device manipulates smart
+// home ZigBee devices — thermostat, garage door, security camera — from
+// across the room, and the cumulant defense catches every attempt.
+//
+//   $ ./smart_home_attack
+//
+// Simulates a day in a smart home: the gateway issues legitimate commands;
+// a compromised WiFi laptop replays emulated versions of previously
+// eavesdropped commands from 4 m away through the real-world channel
+// (path loss + Rician fading + CFO). Each device decodes frames like a
+// commodity CC26x2R1 chip and runs the |C40| detector.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "defense/detector.h"
+#include "sim/defense_run.h"
+#include "sim/link.h"
+#include "zigbee/receiver.h"
+
+int main() {
+  using namespace ctc;
+  dsp::Rng rng(99);
+
+  struct Device {
+    const char* name;
+    std::uint16_t address;
+    const char* command;
+  };
+  const std::vector<Device> devices = {
+      {"thermostat", 0x0010, "SET_COOL_ON"},
+      {"garage door", 0x0020, "OPEN"},
+      {"security camera", 0x0030, "POWER_OFF"},
+  };
+
+  // Real-environment links at 4 m, commodity receiver profile.
+  sim::LinkConfig gateway_config;
+  gateway_config.environment = channel::Environment::real_world(4.0);
+  gateway_config.profile = zigbee::ReceiverProfile::cc26x2r1();
+  sim::LinkConfig attacker_config = gateway_config;
+  attacker_config.kind = sim::LinkKind::emulated;
+  const sim::Link gateway(gateway_config);
+  const sim::Link attacker(attacker_config);
+
+  // |C40| mode: immune to the residual phase/frequency offset of the
+  // real channel (Sec. VI-C). Threshold from the Table V gap.
+  defense::DetectorConfig detector_config;
+  detector_config.c40_mode = defense::C40Mode::magnitude;
+  detector_config.threshold = 0.15;
+  const defense::Detector detector(detector_config);
+
+  int attacks_succeeded = 0;
+  int attacks_detected = 0;
+  std::uint8_t sequence = 0;
+  for (const Device& device : devices) {
+    zigbee::MacFrame frame;
+    frame.sequence = ++sequence;
+    frame.dest_addr = device.address;
+    frame.payload.assign(device.command,
+                         device.command + std::string(device.command).size());
+
+    // Legitimate command.
+    const auto legit = gateway.send(frame, rng);
+    const auto legit_verdict = detector.classify(legit.rx.freq_chips);
+    std::printf("[gateway ] %-15s <- %-12s decoded=%s DE^2=%.4f verdict=%s\n",
+                device.name, device.command, legit.success ? "yes" : "no",
+                legit_verdict.distance_sq,
+                legit_verdict.is_attack ? "ATTACK(!)" : "ok");
+
+    // The attacker replays its emulated copy.
+    const auto attack = attacker.send(frame, rng);
+    if (attack.rx.freq_chips.size() < 8) {
+      std::printf("[attacker] %-15s    (frame did not even sync)\n", device.name);
+      continue;
+    }
+    const auto attack_verdict = detector.classify(attack.rx.freq_chips);
+    attacks_succeeded += attack.success;
+    attacks_detected += attack_verdict.is_attack;
+    std::printf("[attacker] %-15s <- %-12s decoded=%s DE^2=%.4f verdict=%s\n",
+                device.name, device.command, attack.success ? "yes" : "no",
+                attack_verdict.distance_sq,
+                attack_verdict.is_attack ? "ATTACK" : "missed(!)");
+  }
+
+  std::printf("\nsummary: %d/%zu emulated commands decoded by the devices "
+              "(the attack works),\n         %d/%zu flagged by the cumulant "
+              "defense (the seek works).\n",
+              attacks_succeeded, devices.size(), attacks_detected, devices.size());
+  return attacks_detected == static_cast<int>(devices.size()) ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+#include "attack/subcarrier_select.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dsp/fft.h"
+#include "dsp/require.h"
+#include "wifi/ofdm.h"
+
+namespace ctc::attack {
+
+SubcarrierSelector::SubcarrierSelector(SelectionConfig config) : config_(config) {
+  CTC_REQUIRE(config_.num_kept >= 1 && config_.num_kept <= wifi::kNumSubcarriers);
+}
+
+std::vector<rvec> SubcarrierSelector::window_magnitudes(
+    std::span<const cplx> waveform20mhz) const {
+  static const dsp::FftPlan plan(wifi::kNumSubcarriers);
+  std::vector<rvec> magnitudes;
+  const std::size_t slot = wifi::kSymbolLength;  // 80 samples
+  for (std::size_t start = 0; start + slot <= waveform20mhz.size(); start += slot) {
+    const auto window =
+        waveform20mhz.subspan(start + wifi::kCyclicPrefixLength, wifi::kNumSubcarriers);
+    const cvec spectrum = plan.forward(window);
+    rvec magnitude(spectrum.size());
+    for (std::size_t k = 0; k < spectrum.size(); ++k) magnitude[k] = std::abs(spectrum[k]);
+    magnitudes.push_back(std::move(magnitude));
+  }
+  return magnitudes;
+}
+
+SelectionResult SubcarrierSelector::select(std::span<const rvec> magnitudes) const {
+  CTC_REQUIRE_MSG(!magnitudes.empty(), "need at least one analysis window");
+  const std::size_t n = magnitudes.front().size();
+  SelectionResult result;
+  result.votes.assign(n, 0);
+  result.magnitudes.assign(magnitudes.begin(), magnitudes.end());
+
+  // Coarse estimation: binary highlight per window.
+  for (const rvec& window : magnitudes) {
+    CTC_REQUIRE(window.size() == n);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (window[k] > config_.coarse_threshold) ++result.votes[k];
+    }
+  }
+
+  // Detailed estimation: the num_kept most-voted indexes (ties broken toward
+  // larger total magnitude so the choice is deterministic and sensible).
+  rvec totals(n, 0.0);
+  for (const rvec& window : magnitudes) {
+    for (std::size_t k = 0; k < n; ++k) totals[k] += window[k];
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (result.votes[a] != result.votes[b]) return result.votes[a] > result.votes[b];
+    return totals[a] > totals[b];
+  });
+  result.bins.assign(order.begin(), order.begin() + config_.num_kept);
+  std::sort(result.bins.begin(), result.bins.end());
+  return result;
+}
+
+SelectionResult SubcarrierSelector::select_from_waveform(
+    std::span<const cplx> waveform20mhz) const {
+  const auto magnitudes = window_magnitudes(waveform20mhz);
+  return select(magnitudes);
+}
+
+std::vector<std::size_t> SubcarrierSelector::paper_default_bins() {
+  return {0, 1, 2, 3, 61, 62, 63};
+}
+
+}  // namespace ctc::attack

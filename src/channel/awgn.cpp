@@ -1,0 +1,22 @@
+#include "channel/awgn.h"
+
+#include "dsp/require.h"
+#include "dsp/stats.h"
+
+namespace ctc::channel {
+
+cvec add_awgn(std::span<const cplx> signal, double snr_db, dsp::Rng& rng) {
+  const double signal_power = dsp::average_power(signal);
+  const double noise_variance = signal_power / dsp::from_db(snr_db);
+  return add_noise_variance(signal, noise_variance, rng);
+}
+
+cvec add_noise_variance(std::span<const cplx> signal, double noise_variance,
+                        dsp::Rng& rng) {
+  CTC_REQUIRE(noise_variance >= 0.0);
+  cvec out(signal.begin(), signal.end());
+  for (auto& x : out) x += rng.complex_gaussian(noise_variance);
+  return out;
+}
+
+}  // namespace ctc::channel

@@ -1,0 +1,39 @@
+#include "channel/impairments.h"
+
+#include <cmath>
+
+#include "dsp/require.h"
+#include "dsp/resample.h"
+
+namespace ctc::channel {
+
+cvec apply_phase_offset(std::span<const cplx> signal, double phase_rad) {
+  const cplx rotation{std::cos(phase_rad), std::sin(phase_rad)};
+  cvec out(signal.begin(), signal.end());
+  for (auto& x : out) x *= rotation;
+  return out;
+}
+
+cvec apply_cfo(std::span<const cplx> signal, double cfo_hz, double sample_rate_hz,
+               double initial_phase_rad) {
+  dsp::Mixer mixer(cfo_hz, sample_rate_hz, initial_phase_rad);
+  return mixer.process(signal);
+}
+
+cvec apply_timing_offset(std::span<const cplx> signal, double delay_fraction) {
+  CTC_REQUIRE(delay_fraction >= 0.0 && delay_fraction < 1.0);
+  cvec out(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    const cplx previous = (i == 0) ? cplx{0.0, 0.0} : signal[i - 1];
+    out[i] = signal[i] * (1.0 - delay_fraction) + previous * delay_fraction;
+  }
+  return out;
+}
+
+cvec apply_gain(std::span<const cplx> signal, double linear_gain) {
+  cvec out(signal.begin(), signal.end());
+  for (auto& x : out) x *= linear_gain;
+  return out;
+}
+
+}  // namespace ctc::channel

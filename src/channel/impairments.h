@@ -1,0 +1,30 @@
+// Deterministic front-end impairments: carrier frequency offset, phase
+// offset, and sample timing offset.
+//
+// Sec. VI-C of the paper observes that the "real environment" constellation
+// is rotated by a frequency/phase offset (Fig. 6b) and switches the defense
+// to |C40|; these impairments reproduce that effect in simulation.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace ctc::channel {
+
+/// Applies a constant phase rotation exp(j*phase_rad).
+cvec apply_phase_offset(std::span<const cplx> signal, double phase_rad);
+
+/// Applies a carrier frequency offset of `cfo_hz` at `sample_rate_hz`
+/// starting from `initial_phase_rad`.
+cvec apply_cfo(std::span<const cplx> signal, double cfo_hz,
+               double sample_rate_hz, double initial_phase_rad = 0.0);
+
+/// Fractional-sample delay via linear interpolation (0 <= delay < 1).
+/// Output has the same length; the first sample interpolates toward zero.
+cvec apply_timing_offset(std::span<const cplx> signal, double delay_fraction);
+
+/// Scales the whole block by a linear amplitude gain.
+cvec apply_gain(std::span<const cplx> signal, double linear_gain);
+
+}  // namespace ctc::channel

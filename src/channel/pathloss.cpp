@@ -1,0 +1,19 @@
+#include "channel/pathloss.h"
+
+#include <cmath>
+
+#include "dsp/require.h"
+
+namespace ctc::channel {
+
+double PathLossModel::snr_db(double meters) const {
+  CTC_REQUIRE(meters > 0.0);
+  return snr_at_1m_db - 10.0 * exponent * std::log10(meters);
+}
+
+double PathLossModel::rssi_dbm(double meters) const {
+  CTC_REQUIRE(meters > 0.0);
+  return rssi_at_1m_dbm - 10.0 * exponent * std::log10(meters);
+}
+
+}  // namespace ctc::channel

@@ -1,0 +1,25 @@
+#include "defense/constellation_builder.h"
+
+#include <cmath>
+
+#include "dsp/require.h"
+
+namespace ctc::defense {
+
+cvec build_constellation(std::span<const double> soft_chips,
+                         BuilderConfig config) {
+  CTC_REQUIRE_MSG(soft_chips.size() % 2 == 0,
+                  "need whole (I, Q) chip pairs");
+  cvec points;
+  points.reserve(soft_chips.size() / 2);
+  // exp(-j pi/4): diagonals -> axes.
+  const cplx rotation = config.rotate_to_axes
+                            ? cplx{std::sqrt(0.5), -std::sqrt(0.5)}
+                            : cplx{1.0, 0.0};
+  for (std::size_t i = 0; i + 1 < soft_chips.size(); i += 2) {
+    points.push_back(cplx{soft_chips[i], soft_chips[i + 1]} * rotation);
+  }
+  return points;
+}
+
+}  // namespace ctc::defense

@@ -1,0 +1,33 @@
+// Constellation reconstruction from soft chip samples (Sec. VI-A2).
+//
+// The input of the DSSS demodulator is one soft value per chip: in-phase
+// branch chips at even indexes, quadrature branch chips at odd indexes.
+// Pairing them (odd parts -> real axis, even parts -> imaginary axis in the
+// paper's wording; chip bit order makes this the (I, Q) pair) produces one
+// complex point per chip pair, which for authentic ZigBee traffic is a QPSK
+// cloud.
+//
+// Orientation: raw pairs land on the diagonals (+-1 +-j), whose C40 is -1.
+// Table III (Swami-Sadler) assumes the axis QPSK {+-1, +-j} with C40 = +1,
+// so by default the builder derotates by pi/4 — a fixed rotation that only
+// flips the sign of C40 and matches the paper's theoretical targets
+// (C40 -> +1, C42 -> -1 in Figs. 10-11).
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace ctc::defense {
+
+struct BuilderConfig {
+  /// Derotate by pi/4 so authentic QPSK matches Table III's C40 = +1.
+  bool rotate_to_axes = true;
+};
+
+/// Builds constellation points from soft chip values. Requires an even
+/// number of chips; returns chips.size()/2 points.
+cvec build_constellation(std::span<const double> soft_chips,
+                         BuilderConfig config = {});
+
+}  // namespace ctc::defense

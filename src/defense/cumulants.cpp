@@ -1,0 +1,91 @@
+#include "defense/cumulants.h"
+
+#include <cmath>
+
+#include "dsp/require.h"
+
+namespace ctc::defense {
+
+namespace {
+
+double corrected_c21(double c21, double noise_variance) {
+  CTC_REQUIRE(noise_variance >= 0.0);
+  const double corrected = c21 - noise_variance;
+  CTC_REQUIRE_MSG(corrected > 0.0, "noise variance exceeds measured power");
+  return corrected;
+}
+
+}  // namespace
+
+cplx CumulantEstimates::normalized_c40(double noise_variance) const {
+  const double denom = corrected_c21(c21, noise_variance);
+  return c40 / (denom * denom);
+}
+
+cplx CumulantEstimates::normalized_c41(double noise_variance) const {
+  const double denom = corrected_c21(c21, noise_variance);
+  return c41 / (denom * denom);
+}
+
+double CumulantEstimates::normalized_c42(double noise_variance) const {
+  const double denom = corrected_c21(c21, noise_variance);
+  return c42 / (denom * denom);
+}
+
+CumulantEstimates estimate_cumulants(std::span<const cplx> samples) {
+  CTC_REQUIRE_MSG(samples.size() >= 4, "need at least 4 samples");
+  const auto count = static_cast<double>(samples.size());
+  cplx sum_x2{0.0, 0.0};
+  cplx sum_x4{0.0, 0.0};
+  cplx sum_x3_conj{0.0, 0.0};
+  double sum_abs2 = 0.0;
+  double sum_abs4 = 0.0;
+  for (const cplx& x : samples) {
+    const cplx x2 = x * x;
+    const double abs2 = std::norm(x);
+    sum_x2 += x2;
+    sum_x4 += x2 * x2;
+    sum_x3_conj += x2 * x * std::conj(x);
+    sum_abs2 += abs2;
+    sum_abs4 += abs2 * abs2;
+  }
+  CumulantEstimates est;
+  est.c20 = sum_x2 / count;
+  est.c21 = sum_abs2 / count;
+  est.c40 = sum_x4 / count - 3.0 * est.c20 * est.c20;
+  est.c41 = sum_x3_conj / count - 3.0 * est.c20 * est.c21;
+  est.c42 = sum_abs4 / count - std::norm(est.c20) - 2.0 * est.c21 * est.c21;
+  return est;
+}
+
+TheoreticalCumulants theoretical_cumulants(ModulationClass modulation) {
+  switch (modulation) {
+    case ModulationClass::bpsk: return {1.0, -2.0, -2.0};
+    case ModulationClass::qpsk: return {0.0, 1.0, -1.0};
+    case ModulationClass::psk_higher: return {0.0, 0.0, -1.0};
+    case ModulationClass::pam4: return {1.0, -1.36, -1.36};
+    case ModulationClass::pam8: return {1.0, -1.2381, -1.2381};
+    case ModulationClass::pam16: return {1.0, -1.2094, -1.2094};
+    case ModulationClass::qam16: return {0.0, -0.68, -0.68};
+    case ModulationClass::qam64: return {0.0, -0.619, -0.619};
+    case ModulationClass::qam256: return {0.0, -0.6047, -0.6047};
+  }
+  CTC_REQUIRE_MSG(false, "unknown modulation class");
+}
+
+std::string to_string(ModulationClass modulation) {
+  switch (modulation) {
+    case ModulationClass::bpsk: return "BPSK";
+    case ModulationClass::qpsk: return "QPSK";
+    case ModulationClass::psk_higher: return "PSK(>4)";
+    case ModulationClass::pam4: return "4-PAM";
+    case ModulationClass::pam8: return "8-PAM";
+    case ModulationClass::pam16: return "16-PAM";
+    case ModulationClass::qam16: return "16-QAM";
+    case ModulationClass::qam64: return "64-QAM";
+    case ModulationClass::qam256: return "256-QAM";
+  }
+  CTC_REQUIRE_MSG(false, "unknown modulation class");
+}
+
+}  // namespace ctc::defense

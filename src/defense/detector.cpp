@@ -1,0 +1,54 @@
+#include "defense/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/require.h"
+
+namespace ctc::defense {
+
+double Feature::distance_sq() const {
+  const double d40 = c40 - 1.0;
+  const double d42 = c42 + 1.0;
+  return d40 * d40 + d42 * d42;
+}
+
+Detector::Detector(DetectorConfig config) : config_(config) {
+  CTC_REQUIRE(config_.threshold > 0.0);
+}
+
+Feature Detector::feature_from_points(std::span<const cplx> points) const {
+  const CumulantEstimates estimates = estimate_cumulants(points);
+  const cplx c40 = estimates.normalized_c40(config_.noise_variance);
+  Feature feature;
+  feature.c40 = config_.c40_mode == C40Mode::magnitude ? std::abs(c40) : c40.real();
+  feature.c42 = estimates.normalized_c42(config_.noise_variance);
+  return feature;
+}
+
+Feature Detector::feature_from_chips(std::span<const double> soft_chips) const {
+  const cvec points = build_constellation(soft_chips, config_.builder);
+  return feature_from_points(points);
+}
+
+Verdict Detector::classify(std::span<const double> soft_chips) const {
+  Verdict verdict;
+  verdict.feature = feature_from_chips(soft_chips);
+  verdict.distance_sq = verdict.feature.distance_sq();
+  verdict.is_attack = verdict.distance_sq >= config_.threshold;
+  return verdict;
+}
+
+double Detector::calibrate_threshold(std::span<const double> authentic_distances,
+                                     std::span<const double> emulated_distances) {
+  CTC_REQUIRE(!authentic_distances.empty() && !emulated_distances.empty());
+  const double authentic_max =
+      *std::max_element(authentic_distances.begin(), authentic_distances.end());
+  const double emulated_min =
+      *std::min_element(emulated_distances.begin(), emulated_distances.end());
+  CTC_REQUIRE_MSG(authentic_max < emulated_min,
+                  "training classes overlap; no separating threshold exists");
+  return 0.5 * (authentic_max + emulated_min);
+}
+
+}  // namespace ctc::defense

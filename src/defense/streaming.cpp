@@ -1,0 +1,72 @@
+#include "defense/streaming.h"
+
+#include <cmath>
+
+#include "dsp/require.h"
+
+namespace ctc::defense {
+
+void StreamingCumulants::push(cplx sample) {
+  const cplx x2 = sample * sample;
+  const double abs2 = std::norm(sample);
+  sum_x2_ += x2;
+  sum_x4_ += x2 * x2;
+  sum_x3_conj_ += x2 * sample * std::conj(sample);
+  sum_abs2_ += abs2;
+  sum_abs4_ += abs2 * abs2;
+  ++count_;
+}
+
+void StreamingCumulants::reset() { *this = StreamingCumulants{}; }
+
+CumulantEstimates StreamingCumulants::estimates() const {
+  CTC_REQUIRE_MSG(count_ >= 4, "need at least 4 samples");
+  const auto n = static_cast<double>(count_);
+  CumulantEstimates est;
+  est.c20 = sum_x2_ / n;
+  est.c21 = sum_abs2_ / n;
+  est.c40 = sum_x4_ / n - 3.0 * est.c20 * est.c20;
+  est.c41 = sum_x3_conj_ / n - 3.0 * est.c20 * est.c21;
+  est.c42 = sum_abs4_ / n - std::norm(est.c20) - 2.0 * est.c21 * est.c21;
+  return est;
+}
+
+StreamingDetector::StreamingDetector(DetectorConfig config) : config_(config) {
+  CTC_REQUIRE(config_.threshold > 0.0);
+}
+
+void StreamingDetector::push_chips(std::span<const double> soft_chips) {
+  const cplx rotation = config_.builder.rotate_to_axes
+                            ? cplx{std::sqrt(0.5), -std::sqrt(0.5)}
+                            : cplx{1.0, 0.0};
+  for (double chip : soft_chips) {
+    if (!pending_chip_) {
+      pending_chip_ = chip;
+      continue;
+    }
+    cumulants_.push(cplx{*pending_chip_, chip} * rotation);
+    pending_chip_.reset();
+  }
+}
+
+std::optional<Verdict> StreamingDetector::verdict(std::size_t min_points) const {
+  if (cumulants_.count() < std::max<std::size_t>(min_points, 4)) {
+    return std::nullopt;
+  }
+  const CumulantEstimates estimates = cumulants_.estimates();
+  const cplx c40 = estimates.normalized_c40(config_.noise_variance);
+  Verdict verdict;
+  verdict.feature.c40 =
+      config_.c40_mode == C40Mode::magnitude ? std::abs(c40) : c40.real();
+  verdict.feature.c42 = estimates.normalized_c42(config_.noise_variance);
+  verdict.distance_sq = verdict.feature.distance_sq();
+  verdict.is_attack = verdict.distance_sq >= config_.threshold;
+  return verdict;
+}
+
+void StreamingDetector::reset() {
+  cumulants_.reset();
+  pending_chip_.reset();
+}
+
+}  // namespace ctc::defense

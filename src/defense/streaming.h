@@ -1,0 +1,67 @@
+// Streaming (online) cumulant estimation and detection.
+//
+// A deployed detector inside a ZigBee receiver sees chips as they decode;
+// buffering a whole frame before deciding costs latency and RAM on an MCU.
+// StreamingCumulants keeps O(1) running sums (the estimators of Eqs. 8-9
+// are plain sample means, so they stream exactly); StreamingDetector feeds
+// it chip pairs and can produce a verdict at any point — bit-for-bit equal
+// to the batch Detector on the same samples.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "defense/detector.h"
+#include "dsp/types.h"
+
+namespace ctc::defense {
+
+/// Online version of estimate_cumulants(): push samples, read estimates.
+class StreamingCumulants {
+ public:
+  void push(cplx sample);
+  void reset();
+
+  std::size_t count() const { return count_; }
+
+  /// Requires count() >= 4. Identical to estimate_cumulants() over the same
+  /// samples.
+  CumulantEstimates estimates() const;
+
+ private:
+  std::size_t count_ = 0;
+  cplx sum_x2_{0.0, 0.0};
+  cplx sum_x4_{0.0, 0.0};
+  cplx sum_x3_conj_{0.0, 0.0};
+  double sum_abs2_ = 0.0;
+  double sum_abs4_ = 0.0;
+};
+
+/// Online version of Detector: feed soft chips in any block sizes.
+class StreamingDetector {
+ public:
+  explicit StreamingDetector(DetectorConfig config = {});
+
+  /// Consumes chips (odd leftovers are held until the pair completes).
+  void push_chips(std::span<const double> soft_chips);
+
+  /// Constellation points consumed so far.
+  std::size_t points() const { return cumulants_.count(); }
+
+  /// Current verdict; nullopt until at least `min_points` (default 4) points
+  /// have been consumed.
+  std::optional<Verdict> verdict(std::size_t min_points = 4) const;
+
+  /// Clears all state (start of a new frame).
+  void reset();
+
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  DetectorConfig config_;
+  StreamingCumulants cumulants_;
+  std::optional<double> pending_chip_;
+};
+
+}  // namespace ctc::defense

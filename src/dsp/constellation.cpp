@@ -1,0 +1,83 @@
+#include "dsp/constellation.h"
+
+#include <cmath>
+#include <limits>
+
+#include "dsp/require.h"
+#include "dsp/stats.h"
+
+namespace ctc::dsp {
+
+cvec make_psk(std::size_t order) {
+  CTC_REQUIRE(order >= 2);
+  cvec points(order);
+  for (std::size_t k = 0; k < order; ++k) {
+    const double angle = kTwoPi * static_cast<double>(k) / static_cast<double>(order);
+    points[k] = {std::cos(angle), std::sin(angle)};
+  }
+  return points;
+}
+
+cvec make_pam(std::size_t order) {
+  CTC_REQUIRE(order >= 2 && order % 2 == 0);
+  cvec points(order);
+  for (std::size_t k = 0; k < order; ++k) {
+    points[k] = {static_cast<double>(2 * k + 1) - static_cast<double>(order), 0.0};
+  }
+  const double p = average_power(points);
+  for (auto& x : points) x /= std::sqrt(p);
+  return points;
+}
+
+cvec make_qam(std::size_t order) {
+  const auto side = static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(order))));
+  CTC_REQUIRE_MSG(side * side == order && side >= 2,
+                  "QAM order must be a perfect square >= 4");
+  cvec points;
+  points.reserve(order);
+  for (std::size_t row = 0; row < side; ++row) {
+    for (std::size_t col = 0; col < side; ++col) {
+      const double in_phase = static_cast<double>(2 * col + 1) - static_cast<double>(side);
+      const double quadrature = static_cast<double>(2 * row + 1) - static_cast<double>(side);
+      points.emplace_back(in_phase, quadrature);
+    }
+  }
+  const double p = average_power(points);
+  for (auto& x : points) x /= std::sqrt(p);
+  return points;
+}
+
+cvec make_qam64_raw() {
+  cvec points;
+  points.reserve(64);
+  for (int q = -7; q <= 7; q += 2) {
+    for (int i = -7; i <= 7; i += 2) {
+      points.emplace_back(static_cast<double>(i), static_cast<double>(q));
+    }
+  }
+  return points;
+}
+
+std::size_t nearest_point(std::span<const cplx> constellation, cplx x) {
+  CTC_REQUIRE(!constellation.empty());
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < constellation.size(); ++i) {
+    const double distance = std::norm(x - constellation[i]);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+  }
+  return best;
+}
+
+cvec quantize(std::span<const cplx> constellation, std::span<const cplx> samples) {
+  cvec out(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    out[i] = constellation[nearest_point(constellation, samples[i])];
+  }
+  return out;
+}
+
+}  // namespace ctc::dsp

@@ -1,0 +1,118 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+
+#include "dsp/require.h"
+
+namespace ctc::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+FftPlan::FftPlan(std::size_t size) : size_(size) {
+  CTC_REQUIRE_MSG(is_power_of_two(size) && size >= 2,
+                  "FFT size must be a power of two >= 2");
+  // Bit-reversal permutation.
+  bit_reverse_.resize(size_);
+  std::size_t bits = 0;
+  for (std::size_t probe = size_; probe > 1; probe >>= 1) ++bits;
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::size_t reversed = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (i & (std::size_t{1} << b)) reversed |= std::size_t{1} << (bits - 1 - b);
+    }
+    bit_reverse_[i] = reversed;
+  }
+  // Forward twiddles exp(-j 2 pi k / N).
+  twiddles_.resize(size_ / 2);
+  for (std::size_t k = 0; k < size_ / 2; ++k) {
+    const double angle = -kTwoPi * static_cast<double>(k) / static_cast<double>(size_);
+    twiddles_[k] = {std::cos(angle), std::sin(angle)};
+  }
+}
+
+void FftPlan::transform(cvec& data, bool invert) const {
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= size_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = size_ / len;
+    for (std::size_t start = 0; start < size_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        cplx w = twiddles_[k * stride];
+        if (invert) w = std::conj(w);
+        const cplx even = data[start + k];
+        const cplx odd = data[start + k + half] * w;
+        data[start + k] = even + odd;
+        data[start + k + half] = even - odd;
+      }
+    }
+  }
+  if (invert) {
+    const double scale = 1.0 / static_cast<double>(size_);
+    for (auto& value : data) value *= scale;
+  }
+}
+
+cvec FftPlan::forward(std::span<const cplx> input) const {
+  CTC_REQUIRE(input.size() == size_);
+  cvec data(input.begin(), input.end());
+  transform(data, /*invert=*/false);
+  return data;
+}
+
+cvec FftPlan::inverse(std::span<const cplx> input) const {
+  CTC_REQUIRE(input.size() == size_);
+  cvec data(input.begin(), input.end());
+  transform(data, /*invert=*/true);
+  return data;
+}
+
+cvec dft(std::span<const cplx> input) {
+  const std::size_t n = input.size();
+  cvec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const double angle =
+          -kTwoPi * static_cast<double>(k) * static_cast<double>(i) / static_cast<double>(n);
+      acc += input[i] * cplx{std::cos(angle), std::sin(angle)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+cvec idft(std::span<const cplx> input) {
+  const std::size_t n = input.size();
+  cvec out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < n; ++k) {
+      const double angle =
+          kTwoPi * static_cast<double>(k) * static_cast<double>(i) / static_cast<double>(n);
+      acc += input[k] * cplx{std::cos(angle), std::sin(angle)};
+    }
+    out[i] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+cvec fftshift(std::span<const cplx> input) {
+  const std::size_t n = input.size();
+  cvec out(n);
+  const std::size_t half = (n + 1) / 2;  // first element of the upper half
+  for (std::size_t i = 0; i < n; ++i) out[i] = input[(i + half) % n];
+  return out;
+}
+
+cvec ifftshift(std::span<const cplx> input) {
+  const std::size_t n = input.size();
+  cvec out(n);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < n; ++i) out[i] = input[(i + half) % n];
+  return out;
+}
+
+}  // namespace ctc::dsp

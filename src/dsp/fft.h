@@ -1,0 +1,60 @@
+// Fast Fourier Transform.
+//
+// The attack pipeline (Sec. V of the paper) is built around the 64-point
+// FFT/IFFT of the 802.11g OFDM modulator. FftPlan implements an iterative
+// radix-2 Cooley–Tukey transform for any power-of-two size with precomputed
+// twiddles; dft()/idft() are O(n^2) reference implementations used by tests.
+//
+// Conventions (match Eq. (1) of the paper and standard OFDM usage):
+//   forward:  X[k] = sum_n x[n] * exp(-j 2 pi k n / N)        (no scaling)
+//   inverse:  x[n] = (1/N) sum_k X[k] * exp(+j 2 pi k n / N)
+// so inverse(forward(x)) == x, and Parseval reads
+//   sum_n |x[n]|^2 == (1/N) sum_k |X[k]|^2.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.h"
+
+namespace ctc::dsp {
+
+/// Radix-2 FFT plan for a fixed power-of-two size.
+class FftPlan {
+ public:
+  /// Requires `size` to be a power of two, >= 2.
+  explicit FftPlan(std::size_t size);
+
+  std::size_t size() const { return size_; }
+
+  /// Out-of-place forward transform. `input.size()` must equal size().
+  cvec forward(std::span<const cplx> input) const;
+
+  /// Out-of-place inverse transform (includes the 1/N scaling).
+  cvec inverse(std::span<const cplx> input) const;
+
+ private:
+  void transform(cvec& data, bool invert) const;
+
+  std::size_t size_;
+  std::vector<std::size_t> bit_reverse_;
+  cvec twiddles_;  // exp(-j 2 pi k / N) for k in [0, N/2)
+};
+
+/// O(n^2) reference DFT with the same convention as FftPlan::forward.
+cvec dft(std::span<const cplx> input);
+
+/// O(n^2) reference inverse DFT (includes 1/N scaling).
+cvec idft(std::span<const cplx> input);
+
+/// Swaps the two halves of a spectrum so DC moves to the middle
+/// (odd lengths follow the numpy fftshift convention).
+cvec fftshift(std::span<const cplx> input);
+
+/// Inverse of fftshift.
+cvec ifftshift(std::span<const cplx> input);
+
+/// True if `n` is a power of two (and nonzero).
+bool is_power_of_two(std::size_t n);
+
+}  // namespace ctc::dsp

@@ -1,0 +1,82 @@
+#include "dsp/fir.h"
+
+#include <cmath>
+
+#include "dsp/require.h"
+
+namespace ctc::dsp {
+
+rvec design_lowpass(double cutoff, std::size_t num_taps, WindowKind window) {
+  CTC_REQUIRE_MSG(cutoff > 0.0 && cutoff < 0.5,
+                  "cutoff must be a fraction of the sample rate in (0, 0.5)");
+  CTC_REQUIRE_MSG(num_taps % 2 == 1 && num_taps >= 3,
+                  "need an odd tap count for integer group delay");
+  const rvec w = make_window(window, num_taps);
+  rvec taps(num_taps);
+  const double center = static_cast<double>(num_taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    const double t = static_cast<double>(i) - center;
+    const double x = kTwoPi * cutoff * t;
+    const double sinc = (std::abs(t) < 1e-12) ? 1.0 : std::sin(x) / x;
+    taps[i] = 2.0 * cutoff * sinc * w[i];
+    sum += taps[i];
+  }
+  for (auto& tap : taps) tap /= sum;  // unity DC gain
+  return taps;
+}
+
+cvec convolve(std::span<const cplx> signal, std::span<const double> taps) {
+  CTC_REQUIRE(!taps.empty());
+  if (signal.empty()) return {};
+  cvec out(signal.size() + taps.size() - 1, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    for (std::size_t j = 0; j < taps.size(); ++j) {
+      out[i + j] += signal[i] * taps[j];
+    }
+  }
+  return out;
+}
+
+cvec filter_same(std::span<const cplx> signal, std::span<const double> taps) {
+  CTC_REQUIRE(taps.size() % 2 == 1);
+  const cvec full = convolve(signal, taps);
+  const std::size_t delay = (taps.size() - 1) / 2;
+  cvec out(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) out[i] = full[i + delay];
+  return out;
+}
+
+FirFilter::FirFilter(rvec taps) : taps_(std::move(taps)) {
+  CTC_REQUIRE(!taps_.empty());
+  history_.assign(taps_.size() > 1 ? taps_.size() - 1 : 1, cplx{0.0, 0.0});
+}
+
+cvec FirFilter::process(std::span<const cplx> block) {
+  cvec out(block.size());
+  const std::size_t hist = taps_.size() - 1;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    cplx acc = block[i] * taps_[0];
+    for (std::size_t j = 1; j <= hist; ++j) {
+      // history_[(pos_ + hist - j) % hist] holds input[i - j] for j <= i.
+      const cplx past = (j <= i) ? block[i - j]
+                                 : history_[(pos_ + 2 * hist - (j - i)) % hist];
+      acc += past * taps_[j];
+    }
+    out[i] = acc;
+  }
+  // Update history with the tail of this block.
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    if (hist == 0) break;
+    history_[pos_] = block[i];
+    pos_ = (pos_ + 1) % hist;
+  }
+  return out;
+}
+
+void FirFilter::reset() {
+  for (auto& value : history_) value = cplx{0.0, 0.0};
+  pos_ = 0;
+}
+
+}  // namespace ctc::dsp

@@ -1,0 +1,50 @@
+// FIR filter design and application.
+//
+// The resampler (4 MHz ZigBee baseband <-> 20 MHz WiFi baseband) and the
+// ZigBee receiver front-end (2 MHz channel filter inside the 20 MHz band)
+// are built on windowed-sinc lowpass filters from this module.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.h"
+#include "dsp/window.h"
+
+namespace ctc::dsp {
+
+/// Designs an odd-length linear-phase lowpass FIR via the windowed-sinc
+/// method. `cutoff` is the -6 dB edge as a fraction of the sample rate,
+/// in (0, 0.5). Taps are normalized to unity DC gain.
+rvec design_lowpass(double cutoff, std::size_t num_taps,
+                    WindowKind window = WindowKind::hamming);
+
+/// Full convolution of `signal` with real `taps`
+/// (output length = signal + taps - 1).
+cvec convolve(std::span<const cplx> signal, std::span<const double> taps);
+
+/// "Same"-length filtering: convolution trimmed so the output is aligned with
+/// the input (group delay of (taps-1)/2 samples removed). Taps length must be
+/// odd so the delay is an integer.
+cvec filter_same(std::span<const cplx> signal, std::span<const double> taps);
+
+/// Streaming FIR filter with persistent state across process() calls.
+class FirFilter {
+ public:
+  explicit FirFilter(rvec taps);
+
+  /// Filters a block, continuing from previous state (no delay compensation).
+  cvec process(std::span<const cplx> block);
+
+  /// Clears internal history.
+  void reset();
+
+  std::size_t num_taps() const { return taps_.size(); }
+
+ private:
+  rvec taps_;
+  cvec history_;  // circular buffer of the last num_taps-1 inputs
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ctc::dsp

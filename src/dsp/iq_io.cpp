@@ -1,0 +1,56 @@
+#include "dsp/iq_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "dsp/require.h"
+
+namespace ctc::dsp {
+
+void write_cf32(const std::filesystem::path& path, std::span<const cplx> samples) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CTC_REQUIRE_MSG(out.good(), "cannot open file for writing: " + path.string());
+  std::vector<float> buffer;
+  buffer.reserve(samples.size() * 2);
+  for (const cplx& s : samples) {
+    buffer.push_back(static_cast<float>(s.real()));
+    buffer.push_back(static_cast<float>(s.imag()));
+  }
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size() * sizeof(float)));
+  CTC_REQUIRE_MSG(out.good(), "write failed: " + path.string());
+}
+
+cvec read_cf32(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  CTC_REQUIRE_MSG(in.good(), "cannot open file for reading: " + path.string());
+  const std::streamsize bytes = in.tellg();
+  CTC_REQUIRE_MSG(bytes % (2 * sizeof(float)) == 0,
+                  "file is not a whole number of complex float32 samples");
+  in.seekg(0);
+  std::vector<float> buffer(static_cast<std::size_t>(bytes) / sizeof(float));
+  in.read(reinterpret_cast<char*>(buffer.data()), bytes);
+  CTC_REQUIRE_MSG(in.good(), "read failed: " + path.string());
+  cvec samples(buffer.size() / 2);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = {static_cast<double>(buffer[2 * i]),
+                  static_cast<double>(buffer[2 * i + 1])};
+  }
+  return samples;
+}
+
+void write_csv(const std::filesystem::path& path, std::span<const cplx> samples) {
+  std::ofstream out(path, std::ios::trunc);
+  CTC_REQUIRE_MSG(out.good(), "cannot open file for writing: " + path.string());
+  out << "index,i,q\n";
+  char line[96];
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    std::snprintf(line, sizeof line, "%zu,%.9g,%.9g\n", i, samples[i].real(),
+                  samples[i].imag());
+    out << line;
+  }
+  CTC_REQUIRE_MSG(out.good(), "write failed: " + path.string());
+}
+
+}  // namespace ctc::dsp

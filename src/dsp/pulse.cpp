@@ -1,0 +1,19 @@
+#include "dsp/pulse.h"
+
+#include <cmath>
+
+#include "dsp/require.h"
+
+namespace ctc::dsp {
+
+rvec half_sine_pulse(std::size_t samples_per_chip) {
+  CTC_REQUIRE(samples_per_chip >= 1);
+  const std::size_t n = 2 * samples_per_chip;
+  rvec pulse(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pulse[i] = std::sin(kPi * static_cast<double>(i) / static_cast<double>(n));
+  }
+  return pulse;
+}
+
+}  // namespace ctc::dsp

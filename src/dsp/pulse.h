@@ -1,0 +1,19 @@
+// Half-sine pulse shaping for 802.15.4 OQPSK.
+//
+// Each chip is shaped with p(t) = sin(pi * t / (2 Tc)) over [0, 2 Tc]
+// (two chip periods), which makes O-QPSK with half-chip offset equivalent to
+// MSK. At `samples_per_chip` samples per chip the pulse spans
+// 2*samples_per_chip samples.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.h"
+
+namespace ctc::dsp {
+
+/// Samples of the half-sine pulse: length 2*samples_per_chip, peak 1.0 at
+/// the center. sample i corresponds to t = i / samples_per_chip * Tc.
+rvec half_sine_pulse(std::size_t samples_per_chip);
+
+}  // namespace ctc::dsp

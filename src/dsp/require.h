@@ -1,0 +1,42 @@
+// Contract checking for the ctc libraries.
+//
+// CTC_REQUIRE is used for preconditions on public APIs (programmer errors).
+// Violations throw ctc::ContractError so tests can assert on them; expected
+// data-dependent failures (sync miss, CRC failure, ...) never use this macro
+// and are reported through return values instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ctc {
+
+/// Thrown when a documented precondition of a public API is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::string full = std::string("contract violation: (") + expr + ") at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw ContractError(full);
+}
+}  // namespace detail
+
+}  // namespace ctc
+
+#define CTC_REQUIRE(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::ctc::detail::contract_failure(#expr, __FILE__, __LINE__, {});  \
+  } while (false)
+
+#define CTC_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::ctc::detail::contract_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

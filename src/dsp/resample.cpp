@@ -1,0 +1,85 @@
+#include "dsp/resample.h"
+
+#include <cmath>
+
+#include "dsp/fir.h"
+#include "dsp/require.h"
+
+namespace ctc::dsp {
+
+cvec upsample(std::span<const cplx> input, std::size_t factor,
+              std::size_t taps_per_phase) {
+  CTC_REQUIRE(factor >= 1);
+  if (factor == 1) return cvec(input.begin(), input.end());
+  if (input.empty()) return {};
+  // Zero-stuff.
+  cvec stuffed(input.size() * factor, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < input.size(); ++i) stuffed[i * factor] = input[i];
+  // Anti-imaging lowpass. Odd length for integer group delay.
+  std::size_t num_taps = factor * taps_per_phase + 1;
+  if (num_taps % 2 == 0) ++num_taps;
+  const rvec taps = design_lowpass(0.5 / static_cast<double>(factor), num_taps);
+  cvec out = filter_same(stuffed, taps);
+  // Restore amplitude lost to zero-stuffing.
+  for (auto& value : out) value *= static_cast<double>(factor);
+  return out;
+}
+
+cvec decimate(std::span<const cplx> input, std::size_t factor,
+              std::size_t taps_per_phase) {
+  CTC_REQUIRE(factor >= 1);
+  if (factor == 1) return cvec(input.begin(), input.end());
+  if (input.empty()) return {};
+  std::size_t num_taps = factor * taps_per_phase + 1;
+  if (num_taps % 2 == 0) ++num_taps;
+  const rvec taps = design_lowpass(0.5 / static_cast<double>(factor), num_taps);
+  const cvec filtered = filter_same(input, taps);
+  cvec out;
+  out.reserve((input.size() + factor - 1) / factor);
+  for (std::size_t i = 0; i < filtered.size(); i += factor) out.push_back(filtered[i]);
+  return out;
+}
+
+Mixer::Mixer(double freq_hz, double sample_rate_hz, double initial_phase)
+    : step_(kTwoPi * freq_hz / sample_rate_hz), phase_(initial_phase) {
+  CTC_REQUIRE(sample_rate_hz > 0.0);
+}
+
+cvec Mixer::process(std::span<const cplx> block) {
+  cvec out(block.size());
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    out[i] = block[i] * cplx{std::cos(phase_), std::sin(phase_)};
+    phase_ += step_;
+    if (phase_ > kTwoPi) phase_ -= kTwoPi;
+    if (phase_ < -kTwoPi) phase_ += kTwoPi;
+  }
+  return out;
+}
+
+void Mixer::reset(double phase) { phase_ = phase; }
+
+cvec frequency_shift(std::span<const cplx> input, double freq_hz,
+                     double sample_rate_hz) {
+  Mixer mixer(freq_hz, sample_rate_hz);
+  return mixer.process(input);
+}
+
+cvec fractional_delay(std::span<const cplx> input, double delay) {
+  CTC_REQUIRE(delay >= -1.0 && delay <= 1.0);
+  cvec out(input.size());
+  const auto sample_at = [&](long index) {
+    return (index >= 0 && index < static_cast<long>(input.size()))
+               ? input[static_cast<std::size_t>(index)]
+               : cplx{0.0, 0.0};
+  };
+  for (std::size_t n = 0; n < input.size(); ++n) {
+    const double position = static_cast<double>(n) - delay;
+    const double floor_position = std::floor(position);
+    const auto base = static_cast<long>(floor_position);
+    const double fraction = position - floor_position;
+    out[n] = (1.0 - fraction) * sample_at(base) + fraction * sample_at(base + 1);
+  }
+  return out;
+}
+
+}  // namespace ctc::dsp

@@ -1,0 +1,56 @@
+// Sample-rate conversion and frequency shifting.
+//
+// The paper's attacker records the 2 MHz ZigBee waveform at a 4 MHz sample
+// rate, then "interpolates the ZigBee waveform with parameter 5, creating 80
+// points in each WiFi symbol duration" (Sec. V-B1). upsample() implements
+// that interpolation; decimate() is the matching ZigBee-receiver front-end
+// when listening inside a 20 MHz WiFi capture; Mixer implements the 5 MHz
+// center-frequency offset between ZigBee channel 17 (2435 MHz) and the WiFi
+// channel (2440 MHz).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.h"
+
+namespace ctc::dsp {
+
+/// Integer upsampling by `factor`: zero-stuffing followed by an anti-imaging
+/// lowpass (cutoff 0.5/factor of the output rate) with gain `factor`, with
+/// filter group delay removed so output[i*factor] aligns with input[i].
+/// `taps_per_phase` controls filter length (total taps ≈ factor*taps_per_phase).
+cvec upsample(std::span<const cplx> input, std::size_t factor,
+              std::size_t taps_per_phase = 12);
+
+/// Integer decimation by `factor`: anti-alias lowpass (cutoff 0.5/factor)
+/// then keep every factor-th sample, delay-compensated.
+cvec decimate(std::span<const cplx> input, std::size_t factor,
+              std::size_t taps_per_phase = 12);
+
+/// Continuous-phase digital mixer: multiplies by exp(j*2*pi*freq_hz/fs * n).
+/// Phase persists across process() calls so long captures stay coherent.
+class Mixer {
+ public:
+  Mixer(double freq_hz, double sample_rate_hz, double initial_phase = 0.0);
+
+  cvec process(std::span<const cplx> block);
+  void reset(double phase = 0.0);
+
+  double phase() const { return phase_; }
+
+ private:
+  double step_;   // radians per sample
+  double phase_;  // current phase in radians
+};
+
+/// One-shot frequency shift of a block starting at phase 0.
+cvec frequency_shift(std::span<const cplx> input, double freq_hz,
+                     double sample_rate_hz);
+
+/// Fractional-sample delay in [-1, 1] via linear interpolation:
+/// positive delay shifts the signal later (y[n] ~= x[n - delay]); negative
+/// advances it. Samples interpolated past the ends use zero.
+cvec fractional_delay(std::span<const cplx> input, double delay);
+
+}  // namespace ctc::dsp

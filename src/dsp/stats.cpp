@@ -1,0 +1,74 @@
+#include "dsp/stats.h"
+
+#include <cmath>
+
+#include "dsp/require.h"
+
+namespace ctc::dsp {
+
+double mean(std::span<const double> values) {
+  CTC_REQUIRE(!values.empty());
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size());
+}
+
+double average_power(std::span<const cplx> signal) {
+  CTC_REQUIRE(!signal.empty());
+  return energy(signal) / static_cast<double>(signal.size());
+}
+
+double energy(std::span<const cplx> signal) {
+  double acc = 0.0;
+  for (const cplx& x : signal) acc += std::norm(x);
+  return acc;
+}
+
+cvec normalize_power(std::span<const cplx> signal) {
+  const double p = average_power(signal);
+  CTC_REQUIRE_MSG(p > 0.0, "cannot normalize an all-zero signal");
+  const double scale = 1.0 / std::sqrt(p);
+  cvec out(signal.begin(), signal.end());
+  for (auto& x : out) x *= scale;
+  return out;
+}
+
+double nmse(std::span<const cplx> reference, std::span<const cplx> test) {
+  CTC_REQUIRE(reference.size() == test.size());
+  const double ref_energy = energy(reference);
+  CTC_REQUIRE_MSG(ref_energy > 0.0, "reference has zero energy");
+  double err = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    err += std::norm(reference[i] - test[i]);
+  }
+  return err / ref_energy;
+}
+
+double evm_rms(std::span<const cplx> ideal, std::span<const cplx> received) {
+  CTC_REQUIRE(ideal.size() == received.size());
+  CTC_REQUIRE(!ideal.empty());
+  double err = 0.0;
+  double ref = 0.0;
+  for (std::size_t i = 0; i < ideal.size(); ++i) {
+    err += std::norm(received[i] - ideal[i]);
+    ref += std::norm(ideal[i]);
+  }
+  CTC_REQUIRE(ref > 0.0);
+  return std::sqrt(err / ref);
+}
+
+double to_db(double linear) {
+  CTC_REQUIRE(linear > 0.0);
+  return 10.0 * std::log10(linear);
+}
+
+double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+}  // namespace ctc::dsp

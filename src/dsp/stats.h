@@ -1,0 +1,38 @@
+// Signal statistics: power, SNR scaling, waveform-distortion metrics.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+
+namespace ctc::dsp {
+
+/// Mean of real samples. Requires non-empty input.
+double mean(std::span<const double> values);
+
+/// Sample variance (biased, 1/N) of real samples.
+double variance(std::span<const double> values);
+
+/// Average power E|x|^2 of a complex block. Requires non-empty input.
+double average_power(std::span<const cplx> signal);
+
+/// Total energy sum |x|^2.
+double energy(std::span<const cplx> signal);
+
+/// Scales a copy of `signal` to unit average power. Requires nonzero power.
+cvec normalize_power(std::span<const cplx> signal);
+
+/// Normalized mean squared error between a reference and a test waveform:
+/// sum|ref - test|^2 / sum|ref|^2. Sizes must match; reference must have
+/// nonzero energy.
+double nmse(std::span<const cplx> reference, std::span<const cplx> test);
+
+/// Error vector magnitude (rms) between received points and their ideal
+/// constellation points, as a fraction of the ideal rms magnitude.
+double evm_rms(std::span<const cplx> ideal, std::span<const cplx> received);
+
+/// Converts a linear power ratio to dB and back.
+double to_db(double linear);
+double from_db(double db);
+
+}  // namespace ctc::dsp

@@ -1,0 +1,30 @@
+// Core sample types shared by every ctc library.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace ctc {
+
+/// Complex baseband sample. Double precision everywhere: the workloads in
+/// this reproduction are small (thousands of samples) and the cumulant
+/// statistics in the defense are sensitive to accumulation error.
+using cplx = std::complex<double>;
+
+/// A chunk of complex baseband waveform.
+using cvec = std::vector<cplx>;
+
+/// A chunk of real-valued samples (soft chip values, magnitudes, ...).
+using rvec = std::vector<double>;
+
+/// Raw bit containers. One byte per bit (0/1) keeps indexing trivial and is
+/// plenty fast at these sizes.
+using bitvec = std::vector<std::uint8_t>;
+using bytevec = std::vector<std::uint8_t>;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+}  // namespace ctc

@@ -1,0 +1,33 @@
+#include "dsp/window.h"
+
+#include <cmath>
+
+#include "dsp/require.h"
+
+namespace ctc::dsp {
+
+rvec make_window(WindowKind kind, std::size_t n) {
+  CTC_REQUIRE(n >= 1);
+  rvec w(n, 1.0);
+  if (n == 1 || kind == WindowKind::rectangular) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;
+    switch (kind) {
+      case WindowKind::rectangular:
+        break;
+      case WindowKind::hann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * x);
+        break;
+      case WindowKind::hamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * x);
+        break;
+      case WindowKind::blackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * x) + 0.08 * std::cos(2.0 * kTwoPi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+}  // namespace ctc::dsp

@@ -1,0 +1,15 @@
+// Window functions for FIR design and spectral analysis.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/types.h"
+
+namespace ctc::dsp {
+
+enum class WindowKind { rectangular, hann, hamming, blackman };
+
+/// Returns an `n`-point symmetric window of the requested kind.
+rvec make_window(WindowKind kind, std::size_t n);
+
+}  // namespace ctc::dsp

@@ -1,0 +1,51 @@
+#include "sim/defense_run.h"
+
+#include <algorithm>
+
+#include "dsp/require.h"
+
+namespace ctc::sim {
+
+double DefenseSamples::mean_distance() const {
+  CTC_REQUIRE(!distances.empty());
+  double acc = 0.0;
+  for (double d : distances) acc += d;
+  return acc / static_cast<double>(distances.size());
+}
+
+double DefenseSamples::max_distance() const {
+  CTC_REQUIRE(!distances.empty());
+  return *std::max_element(distances.begin(), distances.end());
+}
+
+double DefenseSamples::min_distance() const {
+  CTC_REQUIRE(!distances.empty());
+  return *std::min_element(distances.begin(), distances.end());
+}
+
+DefenseSamples collect_defense_samples(const Link& link,
+                                       std::span<const zigbee::MacFrame> frames,
+                                       std::size_t count,
+                                       const defense::Detector& detector,
+                                       dsp::Rng& rng, DefenseTap tap) {
+  CTC_REQUIRE(!frames.empty());
+  DefenseSamples samples;
+  for (std::size_t i = 0; i < count; ++i) {
+    const FrameObservation observation = link.send(frames[i % frames.size()], rng);
+    const rvec& chips = tap == DefenseTap::discriminator
+                            ? observation.rx.freq_chips
+                            : observation.rx.soft_chips;
+    if (chips.size() < 8) {
+      ++samples.frames_skipped;
+      continue;
+    }
+    const defense::Verdict verdict = detector.classify(chips);
+    samples.distances.push_back(verdict.distance_sq);
+    samples.c40.push_back(verdict.feature.c40);
+    samples.c42.push_back(verdict.feature.c42);
+    ++samples.frames_used;
+  }
+  return samples;
+}
+
+}  // namespace ctc::sim

@@ -1,0 +1,45 @@
+// Runs the constellation defense over simulated links and collects
+// per-frame features — the workhorse behind Table IV, Fig. 12 and Table V.
+#pragma once
+
+#include <span>
+
+#include "defense/detector.h"
+#include "sim/link.h"
+
+namespace ctc::sim {
+
+struct DefenseSamples {
+  rvec distances;  ///< DE^2 per usable frame
+  rvec c40;        ///< Chat40 (per detector mode) per usable frame
+  rvec c42;        ///< Chat42 per usable frame
+  std::size_t frames_used = 0;
+  std::size_t frames_skipped = 0;  ///< frames whose PHR never decoded
+
+  double mean_distance() const;
+  double max_distance() const;
+  double min_distance() const;
+};
+
+/// Which receiver tap feeds the detector.
+enum class DefenseTap {
+  /// FM-discriminator frequency chips — the paper's GNU Radio receiver tap
+  /// (Sec. VI-A2); insensitive to gain/phase/CFO.
+  discriminator,
+  /// Coherent matched-filter soft chips; rotates under residual phase
+  /// offset, which is the Fig. 6b effect the |C40| mode compensates.
+  coherent,
+};
+
+/// Sends `count` frames (cycled from `frames`) through `link`, runs the
+/// detector on each frame's chip samples, and collects the features. Frames
+/// that did not yield chip samples (no PHR) are counted as skipped, mirroring
+/// the paper's setup where the defense runs on frames the receiver locked on.
+DefenseSamples collect_defense_samples(const Link& link,
+                                       std::span<const zigbee::MacFrame> frames,
+                                       std::size_t count,
+                                       const defense::Detector& detector,
+                                       dsp::Rng& rng,
+                                       DefenseTap tap = DefenseTap::discriminator);
+
+}  // namespace ctc::sim

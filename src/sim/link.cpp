@@ -1,0 +1,73 @@
+#include "sim/link.h"
+
+#include "attack/carrier_allocation.h"
+#include "dsp/stats.h"
+#include "wifi/ofdm.h"
+#include "zigbee/dsss.h"
+
+namespace ctc::sim {
+
+Link::Link(LinkConfig config)
+    : config_(std::move(config)),
+      transmitter_(),
+      receiver_([this] {
+        zigbee::ReceiverConfig rx;
+        rx.profile = config_.profile;
+        return rx;
+      }()),
+      emulator_(config_.emulator) {}
+
+cvec Link::clean_waveform(const zigbee::MacFrame& frame) const {
+  cvec waveform = transmitter_.transmit_frame(frame);
+  if (config_.kind == LinkKind::emulated) {
+    const attack::EmulationResult emulation = emulator_.emulate(waveform);
+    if (config_.attack_via_rf) {
+      cvec wifi_baseband;
+      wifi_baseband.reserve(emulation.symbol_grids.size() * wifi::kSymbolLength);
+      for (const cvec& grid : emulation.symbol_grids) {
+        const cvec symbol = wifi::grid_to_time(
+            attack::allocate_to_wifi_grid(grid, config_.carrier_plan));
+        wifi_baseband.insert(wifi_baseband.end(), symbol.begin(), symbol.end());
+      }
+      cvec at_victim = attack::wifi_band_to_zigbee_baseband(wifi_baseband,
+                                                            config_.carrier_plan);
+      at_victim.resize(waveform.size(), cplx{0.0, 0.0});
+      waveform = std::move(at_victim);
+    } else {
+      waveform = emulation.emulated_4mhz;
+    }
+    waveform = dsp::normalize_power(waveform);
+  }
+  return waveform;
+}
+
+FrameObservation Link::send(const zigbee::MacFrame& frame, dsp::Rng& rng) const {
+  FrameObservation observation;
+  const cvec clean = clean_waveform(frame);
+
+  // The commodity receiver's better front end shows up as extra link budget.
+  channel::Environment env = config_.environment;
+  env.snr_db = env.effective_snr_db() + config_.profile.sensitivity_gain_db;
+  env.distance_m.reset();
+  const cvec received = env.propagate(clean, rng);
+
+  observation.rx = receiver_.receive(received);
+
+  const bytevec sent_psdu = frame.serialize();
+  const auto sent_symbols = zigbee::bytes_to_symbols(sent_psdu);
+  observation.symbols_sent = sent_symbols.size();
+  const auto decoded_symbols = zigbee::bytes_to_symbols(observation.rx.psdu);
+  if (decoded_symbols.size() == sent_symbols.size()) {
+    for (std::size_t i = 0; i < sent_symbols.size(); ++i) {
+      if (decoded_symbols[i] != sent_symbols[i]) ++observation.symbol_errors;
+    }
+    observation.payload_match = observation.symbol_errors == 0;
+  } else {
+    observation.symbol_errors = sent_symbols.size();
+    observation.payload_match = false;
+  }
+  observation.success = observation.rx.frame_ok() && observation.payload_match;
+  return observation;
+}
+
+}  // namespace ctc::sim

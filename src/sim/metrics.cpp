@@ -1,0 +1,39 @@
+#include "sim/metrics.h"
+
+#include "dsp/require.h"
+
+namespace ctc::sim {
+
+void LinkStats::add(const FrameObservation& observation) {
+  ++frames_sent;
+  if (observation.success) ++frames_ok;
+  symbols_sent += observation.symbols_sent;
+  symbol_errors += observation.symbol_errors;
+  for (std::size_t distance : observation.rx.hamming_distances) {
+    ++hamming_histogram[distance];
+  }
+}
+
+double LinkStats::packet_error_rate() const {
+  CTC_REQUIRE(frames_sent > 0);
+  return 1.0 - static_cast<double>(frames_ok) / static_cast<double>(frames_sent);
+}
+
+double LinkStats::symbol_error_rate() const {
+  CTC_REQUIRE(symbols_sent > 0);
+  return static_cast<double>(symbol_errors) / static_cast<double>(symbols_sent);
+}
+
+double LinkStats::success_rate() const { return 1.0 - packet_error_rate(); }
+
+LinkStats run_frames(const Link& link, std::span<const zigbee::MacFrame> frames,
+                     std::size_t count, dsp::Rng& rng) {
+  CTC_REQUIRE(!frames.empty());
+  LinkStats stats;
+  for (std::size_t i = 0; i < count; ++i) {
+    stats.add(link.send(frames[i % frames.size()], rng));
+  }
+  return stats;
+}
+
+}  // namespace ctc::sim

@@ -1,0 +1,34 @@
+// Aggregate link statistics: packet/symbol error rates and the chip-level
+// Hamming-distance histogram of Fig. 7.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+
+#include "sim/link.h"
+
+namespace ctc::sim {
+
+struct LinkStats {
+  std::size_t frames_sent = 0;
+  std::size_t frames_ok = 0;       ///< decoded end-to-end with matching payload
+  std::size_t symbols_sent = 0;
+  std::size_t symbol_errors = 0;
+  /// histogram[d] = number of PSDU symbols whose best chip-sequence match
+  /// had Hamming distance d.
+  std::map<std::size_t, std::size_t> hamming_histogram;
+
+  void add(const FrameObservation& observation);
+
+  double packet_error_rate() const;
+  double symbol_error_rate() const;
+  double success_rate() const;  ///< 1 - PER (Table II's "successful rate")
+};
+
+/// Sends `count` copies drawn from `frames` (cycled) through the link.
+LinkStats run_frames(const Link& link,
+                     std::span<const zigbee::MacFrame> frames,
+                     std::size_t count, dsp::Rng& rng);
+
+}  // namespace ctc::sim

@@ -1,0 +1,57 @@
+#include "sim/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "dsp/require.h"
+
+namespace ctc::sim {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  CTC_REQUIRE(!header_.empty());
+}
+
+Table& Table::add_row(std::vector<std::string> row) {
+  CTC_REQUIRE(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::percent(double fraction, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f%%", precision, 100.0 * fraction);
+  return buffer;
+}
+
+}  // namespace ctc::sim

@@ -1,0 +1,28 @@
+// Minimal fixed-width table printer shared by the bench binaries so every
+// reproduced table/figure prints in the same readable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ctc::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `precision` decimals.
+  static std::string num(double value, int precision = 4);
+  /// Formats a percentage ("97.2%").
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ctc::sim

@@ -1,0 +1,47 @@
+#include "wifi/interleaver.h"
+
+#include <algorithm>
+
+#include "dsp/require.h"
+
+namespace ctc::wifi {
+
+namespace {
+
+void check_sizes(std::size_t size, std::size_t cbps, std::size_t bpsc) {
+  CTC_REQUIRE(size == cbps);
+  CTC_REQUIRE(cbps % 16 == 0);
+  CTC_REQUIRE(bpsc == 1 || bpsc == 2 || bpsc == 4 || bpsc == 6);
+}
+
+}  // namespace
+
+bitvec interleave(std::span<const std::uint8_t> bits, std::size_t cbps,
+                  std::size_t bpsc) {
+  check_sizes(bits.size(), cbps, bpsc);
+  const std::size_t s = std::max<std::size_t>(bpsc / 2, 1);
+  bitvec out(cbps);
+  for (std::size_t k = 0; k < cbps; ++k) {
+    const std::size_t i = (cbps / 16) * (k % 16) + k / 16;
+    const std::size_t j =
+        s * (i / s) + (i + cbps - (16 * i) / cbps) % s;
+    out[j] = bits[k];
+  }
+  return out;
+}
+
+bitvec deinterleave(std::span<const std::uint8_t> bits, std::size_t cbps,
+                    std::size_t bpsc) {
+  check_sizes(bits.size(), cbps, bpsc);
+  const std::size_t s = std::max<std::size_t>(bpsc / 2, 1);
+  bitvec out(cbps);
+  for (std::size_t k = 0; k < cbps; ++k) {
+    const std::size_t i = (cbps / 16) * (k % 16) + k / 16;
+    const std::size_t j =
+        s * (i / s) + (i + cbps - (16 * i) / cbps) % s;
+    out[k] = bits[j];
+  }
+  return out;
+}
+
+}  // namespace ctc::wifi

@@ -1,0 +1,26 @@
+// 802.11a/g block interleaver (Clause 17.3.5.7).
+//
+// Operates on one OFDM symbol's worth of coded bits (N_CBPS). Two
+// permutations: the first spreads adjacent coded bits across nonadjacent
+// subcarriers; the second alternates them between more/less significant
+// constellation bits.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.h"
+
+namespace ctc::wifi {
+
+/// Interleaves one OFDM symbol of coded bits.
+/// `bits.size()` must equal `cbps` (coded bits per symbol);
+/// `bpsc` is coded bits per subcarrier (1, 2, 4 or 6).
+bitvec interleave(std::span<const std::uint8_t> bits, std::size_t cbps,
+                  std::size_t bpsc);
+
+/// Exact inverse of interleave().
+bitvec deinterleave(std::span<const std::uint8_t> bits, std::size_t cbps,
+                    std::size_t bpsc);
+
+}  // namespace ctc::wifi

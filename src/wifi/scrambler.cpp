@@ -1,0 +1,26 @@
+#include "wifi/scrambler.h"
+
+#include "dsp/require.h"
+
+namespace ctc::wifi {
+
+Scrambler::Scrambler(std::uint8_t seed) : state_(0) { reset(seed); }
+
+void Scrambler::reset(std::uint8_t seed) {
+  CTC_REQUIRE_MSG((seed & 0x7F) != 0, "scrambler seed must be nonzero");
+  state_ = seed & 0x7F;
+}
+
+bitvec Scrambler::process(std::span<const std::uint8_t> bits) {
+  bitvec out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // Feedback = x^7 xor x^4 (bits 6 and 3 of the state).
+    const std::uint8_t feedback =
+        static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1);
+    out[i] = static_cast<std::uint8_t>((bits[i] & 1) ^ feedback);
+    state_ = static_cast<std::uint8_t>(((state_ << 1) | feedback) & 0x7F);
+  }
+  return out;
+}
+
+}  // namespace ctc::wifi

@@ -1,0 +1,31 @@
+// 802.11 frame-synchronous scrambler (Clause 17.3.5.5).
+//
+// LFSR with polynomial x^7 + x^4 + 1. Scrambling and descrambling are the
+// same operation given the same initial state, and the operation is an
+// involution — one of the "invertible preprocessing" stages the paper's
+// attacker reverses (Sec. V-A4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dsp/types.h"
+
+namespace ctc::wifi {
+
+class Scrambler {
+ public:
+  /// `seed` is the 7-bit initial LFSR state (nonzero).
+  explicit Scrambler(std::uint8_t seed = 0x5D);
+
+  /// Scrambles (or descrambles) a bit sequence in place of a copy.
+  bitvec process(std::span<const std::uint8_t> bits);
+
+  /// Resets the LFSR to a new seed.
+  void reset(std::uint8_t seed);
+
+ private:
+  std::uint8_t state_;
+};
+
+}  // namespace ctc::wifi

@@ -1,0 +1,106 @@
+#include "wifi/signal_field.h"
+
+#include "dsp/require.h"
+#include "wifi/convcode.h"
+#include "wifi/interleaver.h"
+#include "wifi/ofdm.h"
+#include "wifi/qam.h"
+
+namespace ctc::wifi {
+
+namespace {
+constexpr std::size_t kSignalBits = 24;
+constexpr std::size_t kSignalCbps = 48;
+}  // namespace
+
+std::uint8_t rate_code(Mcs mcs) {
+  switch (mcs) {
+    case Mcs::mbps6: return 0b1101;
+    case Mcs::mbps9: return 0b1111;
+    case Mcs::mbps12: return 0b0101;
+    case Mcs::mbps18: return 0b0111;
+    case Mcs::mbps24: return 0b1001;
+    case Mcs::mbps36: return 0b1011;
+    case Mcs::mbps48: return 0b0001;
+    case Mcs::mbps54: return 0b0011;
+  }
+  CTC_REQUIRE_MSG(false, "unknown MCS");
+}
+
+std::optional<Mcs> mcs_from_rate_code(std::uint8_t code) {
+  switch (code & 0x0F) {
+    case 0b1101: return Mcs::mbps6;
+    case 0b1111: return Mcs::mbps9;
+    case 0b0101: return Mcs::mbps12;
+    case 0b0111: return Mcs::mbps18;
+    case 0b1001: return Mcs::mbps24;
+    case 0b1011: return Mcs::mbps36;
+    case 0b0001: return Mcs::mbps48;
+    case 0b0011: return Mcs::mbps54;
+    default: return std::nullopt;
+  }
+}
+
+bitvec encode_signal_bits(const SignalField& field) {
+  CTC_REQUIRE(field.length_bytes >= 1 && field.length_bytes <= 4095);
+  bitvec bits;
+  bits.reserve(kSignalBits);
+  const std::uint8_t rate = rate_code(field.mcs);
+  // RATE transmitted MSB (R1) first per Table 17-6 bit assignment R1..R4.
+  for (int b = 3; b >= 0; --b) bits.push_back((rate >> b) & 1);
+  bits.push_back(0);  // reserved
+  for (int b = 0; b < 12; ++b) {  // LENGTH LSB first
+    bits.push_back(static_cast<std::uint8_t>((field.length_bytes >> b) & 1));
+  }
+  std::uint8_t parity = 0;
+  for (std::uint8_t bit : bits) parity ^= bit;
+  bits.push_back(parity);  // even parity over bits 0..16
+  bits.insert(bits.end(), 6, 0);  // tail
+  return bits;
+}
+
+std::optional<SignalField> decode_signal_bits(std::span<const std::uint8_t> bits) {
+  if (bits.size() != kSignalBits) return std::nullopt;
+  std::uint8_t parity = 0;
+  for (std::size_t i = 0; i <= 17; ++i) parity ^= bits[i] & 1;
+  if (parity != 0) return std::nullopt;   // parity bit included: must be even
+  if (bits[4] != 0) return std::nullopt;  // reserved
+  std::uint8_t rate = 0;
+  for (int b = 0; b < 4; ++b) rate = static_cast<std::uint8_t>((rate << 1) | (bits[b] & 1));
+  const auto mcs = mcs_from_rate_code(rate);
+  if (!mcs) return std::nullopt;
+  std::size_t length = 0;
+  for (int b = 0; b < 12; ++b) {
+    if (bits[5 + b] & 1) length |= std::size_t{1} << b;
+  }
+  if (length == 0) return std::nullopt;
+  SignalField field;
+  field.mcs = *mcs;
+  field.length_bytes = length;
+  return field;
+}
+
+cvec modulate_signal_symbol(const SignalField& field) {
+  const bitvec bits = encode_signal_bits(field);
+  const bitvec coded = convolutional_encode(bits, CodeRate::half);
+  CTC_REQUIRE(coded.size() == kSignalCbps);
+  const bitvec interleaved = interleave(coded, kSignalCbps, 1);
+  const cvec points = qam_map(interleaved, Modulation::bpsk);
+  const cvec grid = assemble_symbol_grid(points, 0);
+  return grid_to_time(grid);
+}
+
+std::optional<SignalField> demodulate_signal_grid(std::span<const cplx> grid) {
+  CTC_REQUIRE(grid.size() == kNumSubcarriers);
+  const auto& data_indexes = data_subcarrier_indexes();
+  cvec points(kNumDataSubcarriers);
+  for (std::size_t n = 0; n < kNumDataSubcarriers; ++n) {
+    points[n] = grid[subcarrier_to_bin(data_indexes[n])];
+  }
+  const bitvec demapped = qam_demap(points, Modulation::bpsk);
+  const bitvec deinterleaved = deinterleave(demapped, kSignalCbps, 1);
+  const bitvec bits = viterbi_decode(deinterleaved, CodeRate::half);
+  return decode_signal_bits(bits);
+}
+
+}  // namespace ctc::wifi

@@ -1,0 +1,43 @@
+// 802.11a/g SIGNAL field (Clause 17.3.4): the BPSK rate-1/2 header symbol
+// that announces RATE and LENGTH of the payload.
+//
+// 24 bits: RATE(4) | reserved(1)=0 | LENGTH(12, LSB first) | parity(1, even)
+// | tail(6)=0, convolutionally encoded to 48 bits, interleaved and BPSK
+// mapped onto one OFDM symbol (pilot polarity index 0; data symbols then
+// start at index 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "dsp/types.h"
+#include "wifi/transmitter.h"
+
+namespace ctc::wifi {
+
+struct SignalField {
+  Mcs mcs = Mcs::mbps6;
+  std::size_t length_bytes = 0;  ///< PSDU length, 1..4095
+};
+
+/// The 4-bit RATE code of Table 17-6 for an MCS.
+std::uint8_t rate_code(Mcs mcs);
+
+/// Inverse of rate_code(). nullopt for invalid codes.
+std::optional<Mcs> mcs_from_rate_code(std::uint8_t code);
+
+/// Builds the 24 uncoded SIGNAL bits. Requires 1 <= length <= 4095.
+bitvec encode_signal_bits(const SignalField& field);
+
+/// Parses 24 uncoded SIGNAL bits; checks the reserved bit, parity bit,
+/// rate code and nonzero length. nullopt when any check fails.
+std::optional<SignalField> decode_signal_bits(std::span<const std::uint8_t> bits);
+
+/// Full modulation: SIGNAL -> one 80-sample OFDM symbol (time domain).
+cvec modulate_signal_symbol(const SignalField& field);
+
+/// Full demodulation from one equalized 64-bin frequency grid.
+std::optional<SignalField> demodulate_signal_grid(std::span<const cplx> grid);
+
+}  // namespace ctc::wifi

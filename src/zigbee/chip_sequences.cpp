@@ -1,0 +1,70 @@
+#include "zigbee/chip_sequences.h"
+
+#include <algorithm>
+
+#include "dsp/require.h"
+
+namespace ctc::zigbee {
+
+namespace {
+
+// Symbol-0 sequence, chips c0..c31 (IEEE 802.15.4-2015 Table 10-14).
+constexpr ChipSequence kSymbol0 = {
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+    0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0};
+
+ChipSequence rotate_right(const ChipSequence& sequence, std::size_t amount) {
+  ChipSequence out{};
+  for (std::size_t i = 0; i < kChipsPerSymbol; ++i) {
+    out[(i + amount) % kChipsPerSymbol] = sequence[i];
+  }
+  return out;
+}
+
+ChipSequence invert_odd_chips(const ChipSequence& sequence) {
+  ChipSequence out = sequence;
+  for (std::size_t i = 1; i < kChipsPerSymbol; i += 2) out[i] ^= 1;
+  return out;
+}
+
+std::array<ChipSequence, kNumSymbols> build_table() {
+  std::array<ChipSequence, kNumSymbols> table{};
+  for (std::size_t s = 0; s < 8; ++s) table[s] = rotate_right(kSymbol0, 4 * s);
+  for (std::size_t s = 8; s < 16; ++s) table[s] = invert_odd_chips(table[s - 8]);
+  return table;
+}
+
+}  // namespace
+
+const std::array<ChipSequence, kNumSymbols>& chip_table() {
+  static const std::array<ChipSequence, kNumSymbols> table = build_table();
+  return table;
+}
+
+const ChipSequence& chips_for_symbol(std::uint8_t symbol) {
+  CTC_REQUIRE(symbol < kNumSymbols);
+  return chip_table()[symbol];
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> received,
+                             const ChipSequence& reference) {
+  CTC_REQUIRE(received.size() == kChipsPerSymbol);
+  std::size_t distance = 0;
+  for (std::size_t i = 0; i < kChipsPerSymbol; ++i) {
+    if ((received[i] != 0) != (reference[i] != 0)) ++distance;
+  }
+  return distance;
+}
+
+std::size_t min_pairwise_distance() {
+  const auto& table = chip_table();
+  std::size_t best = kChipsPerSymbol;
+  for (std::size_t a = 0; a < kNumSymbols; ++a) {
+    for (std::size_t b = a + 1; b < kNumSymbols; ++b) {
+      best = std::min(best, hamming_distance(table[a], table[b]));
+    }
+  }
+  return best;
+}
+
+}  // namespace ctc::zigbee

@@ -1,0 +1,36 @@
+// IEEE 802.15.4 (2450 MHz O-QPSK PHY) symbol-to-chip spreading sequences.
+//
+// Each 4-bit symbol maps to a 32-chip pseudo-noise sequence. Symbols 1..7
+// are the symbol-0 sequence cyclically rotated right by 4 chips per step;
+// symbols 8..15 are symbols 0..7 with the odd-indexed chips inverted
+// (conjugation of the underlying MSK waveform). This module generates the
+// table once and provides Hamming-distance helpers used by the despread
+// logic and by the paper's Fig. 7 chip-error analysis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ctc::zigbee {
+
+inline constexpr std::size_t kChipsPerSymbol = 32;
+inline constexpr std::size_t kNumSymbols = 16;
+
+using ChipSequence = std::array<std::uint8_t, kChipsPerSymbol>;
+
+/// The full 16 x 32 spreading table (row = symbol value).
+const std::array<ChipSequence, kNumSymbols>& chip_table();
+
+/// Chips for one data symbol (0..15).
+const ChipSequence& chips_for_symbol(std::uint8_t symbol);
+
+/// Hamming distance between a received 32-chip sequence and a table row.
+std::size_t hamming_distance(std::span<const std::uint8_t> received,
+                             const ChipSequence& reference);
+
+/// Minimum pairwise Hamming distance over all distinct table rows
+/// (a property test pins this down; it bounds DSSS error resilience).
+std::size_t min_pairwise_distance();
+
+}  // namespace ctc::zigbee

@@ -1,0 +1,97 @@
+#include "zigbee/dsss.h"
+
+#include "dsp/require.h"
+
+namespace ctc::zigbee {
+
+std::vector<std::uint8_t> spread(std::span<const std::uint8_t> symbols) {
+  std::vector<std::uint8_t> chips;
+  chips.reserve(symbols.size() * kChipsPerSymbol);
+  for (std::uint8_t symbol : symbols) {
+    const ChipSequence& sequence = chips_for_symbol(symbol);
+    chips.insert(chips.end(), sequence.begin(), sequence.end());
+  }
+  return chips;
+}
+
+DespreadResult despread_block(std::span<const std::uint8_t> chips,
+                              std::size_t threshold) {
+  CTC_REQUIRE(chips.size() == kChipsPerSymbol);
+  DespreadResult result;
+  std::size_t best = kChipsPerSymbol + 1;
+  const auto& table = chip_table();
+  for (std::size_t s = 0; s < kNumSymbols; ++s) {
+    const std::size_t distance = hamming_distance(chips, table[s]);
+    if (distance < best) {
+      best = distance;
+      result.symbol = static_cast<std::uint8_t>(s);
+    }
+  }
+  result.distance = best;
+  result.accepted = best <= threshold;
+  return result;
+}
+
+DespreadResult despread_differential_block(std::span<const double> freq_chips,
+                                           std::uint8_t previous_chip,
+                                           std::size_t threshold) {
+  CTC_REQUIRE(freq_chips.size() == kChipsPerSymbol);
+  DespreadResult result;
+  std::size_t best = kChipsPerSymbol + 1;
+  const auto& table = chip_table();
+  for (std::size_t s = 0; s < kNumSymbols; ++s) {
+    const ChipSequence& q = table[s];
+    std::size_t distance = 0;
+    for (std::size_t j = 0; j < kChipsPerSymbol; ++j) {
+      const int sign_j = (j % 2 == 1) ? 1 : -1;
+      int predicted;
+      if (j == 0) {
+        if (previous_chip > 1) continue;  // no predecessor: skip chip 0
+        predicted = sign_j * (2 * previous_chip - 1) * (2 * q[0] - 1);
+      } else {
+        predicted = sign_j * (2 * q[j - 1] - 1) * (2 * q[j] - 1);
+      }
+      const int observed = freq_chips[j] > 0.0 ? 1 : -1;
+      if (observed != predicted) ++distance;
+    }
+    if (distance < best) {
+      best = distance;
+      result.symbol = static_cast<std::uint8_t>(s);
+    }
+  }
+  result.distance = best;
+  result.accepted = best <= threshold;
+  return result;
+}
+
+std::vector<DespreadResult> despread_differential(
+    std::span<const double> freq_chips, std::size_t threshold) {
+  CTC_REQUIRE_MSG(freq_chips.size() % kChipsPerSymbol == 0,
+                  "chip stream must contain whole symbols");
+  std::vector<DespreadResult> results;
+  results.reserve(freq_chips.size() / kChipsPerSymbol);
+  std::uint8_t previous_chip = 2;  // first block has no predecessor
+  for (std::size_t offset = 0; offset < freq_chips.size();
+       offset += kChipsPerSymbol) {
+    const DespreadResult block = despread_differential_block(
+        freq_chips.subspan(offset, kChipsPerSymbol), previous_chip, threshold);
+    previous_chip = chips_for_symbol(block.symbol)[kChipsPerSymbol - 1];
+    results.push_back(block);
+  }
+  return results;
+}
+
+std::vector<DespreadResult> despread(std::span<const std::uint8_t> chips,
+                                     std::size_t threshold) {
+  CTC_REQUIRE_MSG(chips.size() % kChipsPerSymbol == 0,
+                  "chip stream must contain whole symbols");
+  std::vector<DespreadResult> results;
+  results.reserve(chips.size() / kChipsPerSymbol);
+  for (std::size_t offset = 0; offset < chips.size(); offset += kChipsPerSymbol) {
+    results.push_back(
+        despread_block(chips.subspan(offset, kChipsPerSymbol), threshold));
+  }
+  return results;
+}
+
+}  // namespace ctc::zigbee

@@ -1,0 +1,57 @@
+// Direct Sequence Spread Spectrum spreading / despreading.
+//
+// Spreading multiplies each 4-bit symbol into its 32-chip PN sequence.
+// Despreading is the hard-decision correlation of Fig. 1: the received
+// 32-chip block is compared against every table row; if the best Hamming
+// distance is within the receiver's correlation threshold the block decodes
+// to that symbol, otherwise it is dropped (Sec. III-B1). The emulation
+// attack survives precisely because of this tolerance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "zigbee/chip_sequences.h"
+
+namespace ctc::zigbee {
+
+/// Spreads a sequence of 4-bit symbols (each < 16) into chips.
+std::vector<std::uint8_t> spread(std::span<const std::uint8_t> symbols);
+
+struct DespreadResult {
+  std::uint8_t symbol = 0;       ///< best-matching symbol value
+  std::size_t distance = 0;      ///< its Hamming distance
+  bool accepted = false;         ///< distance <= threshold
+};
+
+/// Despreads one 32-chip block with the given correlation threshold
+/// (maximum tolerated Hamming distance).
+DespreadResult despread_block(std::span<const std::uint8_t> chips,
+                              std::size_t threshold);
+
+/// Despreads a whole chip stream (size must be a multiple of 32). Blocks over
+/// threshold are reported with accepted == false; callers decide whether to
+/// drop the frame.
+std::vector<DespreadResult> despread(std::span<const std::uint8_t> chips,
+                                     std::size_t threshold);
+
+/// Differential despreading for the noncoherent (FM discriminator) receive
+/// path of the GNU Radio 802.15.4 testbed (paper ref. [22]). The
+/// discriminator outputs one frequency value per chip,
+///   f_i = s_i * (2 c_{i-1} - 1)(2 c_i - 1),  s_i = +1 (i odd) / -1 (i even),
+/// so each candidate chip sequence is matched in this differential domain.
+/// The first chip of each block depends on the last chip of the previous
+/// symbol; it is carried across blocks (and skipped for the very first
+/// block, where no predecessor exists).
+std::vector<DespreadResult> despread_differential(
+    std::span<const double> freq_chips, std::size_t threshold);
+
+/// Single-block differential matcher. `previous_chip` < 2 is the last chip
+/// of the preceding symbol; pass 2 to exclude chip 0 from the distance.
+DespreadResult despread_differential_block(std::span<const double> freq_chips,
+                                           std::uint8_t previous_chip,
+                                           std::size_t threshold);
+
+}  // namespace ctc::zigbee

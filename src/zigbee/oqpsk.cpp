@@ -1,0 +1,108 @@
+#include "zigbee/oqpsk.h"
+
+#include <cmath>
+
+#include "dsp/pulse.h"
+#include "dsp/require.h"
+
+namespace ctc::zigbee {
+
+OqpskModulator::OqpskModulator(std::size_t samples_per_chip)
+    : samples_per_chip_(samples_per_chip),
+      pulse_(dsp::half_sine_pulse(samples_per_chip)) {
+  CTC_REQUIRE(samples_per_chip >= 1);
+}
+
+cvec OqpskModulator::modulate(std::span<const std::uint8_t> chips) const {
+  const std::size_t spc = samples_per_chip_;
+  cvec waveform((chips.size() + 1) * spc, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < chips.size(); ++i) {
+    const double amplitude = chips[i] ? 1.0 : -1.0;
+    const std::size_t start = i * spc;
+    const bool in_phase = (i % 2 == 0);
+    for (std::size_t s = 0; s < pulse_.size(); ++s) {
+      const double value = amplitude * pulse_[s];
+      if (in_phase) {
+        waveform[start + s] += cplx{value, 0.0};
+      } else {
+        waveform[start + s] += cplx{0.0, value};
+      }
+    }
+  }
+  return waveform;
+}
+
+OqpskDemodulator::OqpskDemodulator(std::size_t samples_per_chip)
+    : samples_per_chip_(samples_per_chip),
+      pulse_(dsp::half_sine_pulse(samples_per_chip)) {
+  CTC_REQUIRE(samples_per_chip >= 1);
+  pulse_energy_ = 0.0;
+  for (double p : pulse_) pulse_energy_ += p * p;
+}
+
+rvec OqpskDemodulator::soft_chips(std::span<const cplx> waveform,
+                                  std::size_t num_chips) const {
+  const std::size_t spc = samples_per_chip_;
+  CTC_REQUIRE_MSG(waveform.size() >= (num_chips + 1) * spc,
+                  "waveform too short for requested chip count");
+  rvec soft(num_chips);
+  for (std::size_t i = 0; i < num_chips; ++i) {
+    const std::size_t start = i * spc;
+    const bool in_phase = (i % 2 == 0);
+    double acc = 0.0;
+    for (std::size_t s = 0; s < pulse_.size(); ++s) {
+      const cplx& x = waveform[start + s];
+      acc += (in_phase ? x.real() : x.imag()) * pulse_[s];
+    }
+    soft[i] = acc / pulse_energy_;
+  }
+  return soft;
+}
+
+rvec OqpskDemodulator::frequency_chips(std::span<const cplx> waveform,
+                                       std::size_t num_chips) const {
+  const std::size_t spc = samples_per_chip_;
+  CTC_REQUIRE_MSG(waveform.size() >= (num_chips + 1) * spc,
+                  "waveform too short for requested chip count");
+  rvec chips(num_chips, 0.0);
+  for (std::size_t i = 0; i < num_chips; ++i) {
+    double rotation = 0.0;
+    // Transitions spanning [i*spc, (i+1)*spc]: peak of chip i-1 to peak of
+    // chip i.
+    for (std::size_t s = i * spc + 1; s <= (i + 1) * spc; ++s) {
+      const cplx step = waveform[s] * std::conj(waveform[s - 1]);
+      if (std::norm(step) > 1e-24) {
+        rotation += std::atan2(step.imag(), step.real());
+      }
+    }
+    chips[i] = rotation / (kPi / 2.0);  // clean MSK rotates +-pi/2 per chip
+  }
+  return chips;
+}
+
+std::vector<std::uint8_t> OqpskDemodulator::hard_decision(
+    std::span<const double> soft) {
+  std::vector<std::uint8_t> chips(soft.size());
+  for (std::size_t i = 0; i < soft.size(); ++i) {
+    chips[i] = soft[i] > 0.0 ? 1 : 0;
+  }
+  return chips;
+}
+
+rvec OqpskDemodulator::instantaneous_phase(std::span<const cplx> waveform) {
+  rvec phase(waveform.size());
+  double offset = 0.0;
+  double previous = 0.0;
+  for (std::size_t i = 0; i < waveform.size(); ++i) {
+    double raw = std::atan2(waveform[i].imag(), waveform[i].real());
+    if (i > 0) {
+      while (raw + offset - previous > kPi) offset -= kTwoPi;
+      while (raw + offset - previous < -kPi) offset += kTwoPi;
+    }
+    phase[i] = raw + offset;
+    previous = phase[i];
+  }
+  return phase;
+}
+
+}  // namespace ctc::zigbee

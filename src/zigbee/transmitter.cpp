@@ -1,0 +1,40 @@
+#include "zigbee/transmitter.h"
+
+#include "dsp/require.h"
+#include "dsp/stats.h"
+#include "zigbee/dsss.h"
+
+namespace ctc::zigbee {
+
+Transmitter::Transmitter(TransmitterConfig config)
+    : config_(config), modulator_(config.samples_per_chip) {}
+
+std::vector<std::uint8_t> Transmitter::chips_for_psdu(
+    std::span<const std::uint8_t> psdu) const {
+  Ppdu ppdu;
+  ppdu.psdu.assign(psdu.begin(), psdu.end());
+  const bytevec bytes = ppdu.serialize();
+  const auto symbols = bytes_to_symbols(bytes);
+  return spread(symbols);
+}
+
+cvec Transmitter::transmit_psdu(std::span<const std::uint8_t> psdu) const {
+  const auto chips = chips_for_psdu(psdu);
+  cvec waveform = modulator_.modulate(chips);
+  if (config_.normalize_power) waveform = dsp::normalize_power(waveform);
+  return waveform;
+}
+
+cvec Transmitter::transmit_frame(const MacFrame& frame) const {
+  return transmit_psdu(frame.serialize());
+}
+
+cvec Transmitter::shr_reference() const {
+  bytevec shr(kPreambleBytes, 0x00);
+  shr.push_back(kSfd);
+  const auto symbols = bytes_to_symbols(shr);
+  const auto chips = spread(symbols);
+  return modulator_.modulate(chips);
+}
+
+}  // namespace ctc::zigbee

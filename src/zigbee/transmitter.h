@@ -1,0 +1,43 @@
+// ZigBee transmitter: APP/MAC bytes -> PPDU -> DSSS chips -> O-QPSK
+// baseband waveform (Fig. 1, left half).
+#pragma once
+
+#include <span>
+
+#include "dsp/types.h"
+#include "zigbee/frame.h"
+#include "zigbee/oqpsk.h"
+
+namespace ctc::zigbee {
+
+struct TransmitterConfig {
+  std::size_t samples_per_chip = 2;  ///< 4 MHz sample rate at 2 Mchip/s
+  bool normalize_power = true;       ///< unit average TX power (paper Sec. VII-B)
+};
+
+class Transmitter {
+ public:
+  explicit Transmitter(TransmitterConfig config = {});
+
+  /// Full PHY chain for an arbitrary PSDU.
+  cvec transmit_psdu(std::span<const std::uint8_t> psdu) const;
+
+  /// Serializes and transmits a MAC frame.
+  cvec transmit_frame(const MacFrame& frame) const;
+
+  /// Chip stream for a PSDU (diagnostics / attack ground truth).
+  std::vector<std::uint8_t> chips_for_psdu(
+      std::span<const std::uint8_t> psdu) const;
+
+  /// Reference waveform of the SHR (preamble + SFD), used by receiver
+  /// synchronization and phase estimation.
+  cvec shr_reference() const;
+
+  const TransmitterConfig& config() const { return config_; }
+
+ private:
+  TransmitterConfig config_;
+  OqpskModulator modulator_;
+};
+
+}  // namespace ctc::zigbee

@@ -1,0 +1,115 @@
+#include "attack/subcarrier_select.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dsp/require.h"
+#include "dsp/resample.h"
+#include "zigbee/app.h"
+#include "zigbee/transmitter.h"
+
+namespace ctc::attack {
+namespace {
+
+cvec observed_zigbee_20mhz() {
+  zigbee::Transmitter tx;
+  const cvec wave = tx.transmit_frame(zigbee::make_text_frame(0, 0));
+  return dsp::upsample(wave, 5);
+}
+
+TEST(SubcarrierSelectTest, PicksThePaperBinsOnRealZigBeeWaveform) {
+  // Sec. V-A2 / Table I: the chosen subcarriers are 1-4 and 62-64 (1-based),
+  // i.e. FFT bins {0,1,2,3,61,62,63}.
+  SubcarrierSelector selector;
+  const SelectionResult result = selector.select_from_waveform(observed_zigbee_20mhz());
+  EXPECT_EQ(result.bins, SubcarrierSelector::paper_default_bins());
+}
+
+TEST(SubcarrierSelectTest, WindowMagnitudesSkipTheCpRegion) {
+  const cvec wave = observed_zigbee_20mhz();
+  SubcarrierSelector selector;
+  const auto magnitudes = selector.window_magnitudes(wave);
+  EXPECT_EQ(magnitudes.size(), wave.size() / 80);
+  for (const auto& window : magnitudes) EXPECT_EQ(window.size(), 64u);
+}
+
+TEST(SubcarrierSelectTest, EnergyConcentratesInChosenBins) {
+  // The 7 chosen bins must hold the bulk of the waveform energy — that is
+  // why the attack works at all.
+  SubcarrierSelector selector;
+  const cvec wave = observed_zigbee_20mhz();
+  const auto magnitudes = selector.window_magnitudes(wave);
+  const auto result = selector.select(magnitudes);
+  double kept = 0.0;
+  double total = 0.0;
+  for (const auto& window : magnitudes) {
+    for (std::size_t k = 0; k < window.size(); ++k) {
+      const double p = window[k] * window[k];
+      total += p;
+      if (std::find(result.bins.begin(), result.bins.end(), k) != result.bins.end()) {
+        kept += p;
+      }
+    }
+  }
+  EXPECT_GT(kept / total, 0.85);
+}
+
+TEST(SubcarrierSelectTest, VotesAreBoundedByWindowCount) {
+  SubcarrierSelector selector;
+  const auto magnitudes = selector.window_magnitudes(observed_zigbee_20mhz());
+  const auto result = selector.select(magnitudes);
+  for (std::size_t vote : result.votes) EXPECT_LE(vote, magnitudes.size());
+  // Chosen bins have at least as many votes as any unchosen bin.
+  std::size_t min_chosen = magnitudes.size();
+  for (std::size_t bin : result.bins) min_chosen = std::min(min_chosen, result.votes[bin]);
+  for (std::size_t k = 0; k < 64; ++k) {
+    if (std::find(result.bins.begin(), result.bins.end(), k) == result.bins.end()) {
+      EXPECT_LE(result.votes[k], min_chosen) << "bin " << k;
+    }
+  }
+}
+
+TEST(SubcarrierSelectTest, NumKeptIsRespected) {
+  SelectionConfig config;
+  config.num_kept = 3;
+  SubcarrierSelector selector(config);
+  const auto result = selector.select_from_waveform(observed_zigbee_20mhz());
+  EXPECT_EQ(result.bins.size(), 3u);
+}
+
+TEST(SubcarrierSelectTest, HighCoarseThresholdStillPicksSeven) {
+  // With an absurd threshold nothing is highlighted; the magnitude tiebreak
+  // still returns a deterministic, energy-sorted choice.
+  SelectionConfig config;
+  config.coarse_threshold = 1e9;
+  SubcarrierSelector selector(config);
+  const auto result = selector.select_from_waveform(observed_zigbee_20mhz());
+  EXPECT_EQ(result.bins.size(), 7u);
+  EXPECT_EQ(result.bins, SubcarrierSelector::paper_default_bins());
+}
+
+TEST(SubcarrierSelectTest, RejectsEmptyInputAndBadConfig) {
+  SubcarrierSelector selector;
+  EXPECT_THROW(selector.select(std::vector<rvec>{}), ContractError);
+  SelectionConfig config;
+  config.num_kept = 0;
+  EXPECT_THROW(SubcarrierSelector{config}, ContractError);
+  config.num_kept = 65;
+  EXPECT_THROW(SubcarrierSelector{config}, ContractError);
+}
+
+TEST(SubcarrierSelectTest, MagnitudeTableIsExposedForTableOne) {
+  SubcarrierSelector selector;
+  const auto result = selector.select_from_waveform(observed_zigbee_20mhz());
+  ASSERT_FALSE(result.magnitudes.empty());
+  // Bins 5..54 (paper rows between the kept blocks) carry visibly less
+  // energy than the top kept bin in every window.
+  for (const auto& window : result.magnitudes) {
+    const double top = *std::max_element(window.begin(), window.end());
+    for (std::size_t k = 8; k < 54; ++k) EXPECT_LT(window[k], top);
+  }
+}
+
+}  // namespace
+}  // namespace ctc::attack

@@ -1,0 +1,77 @@
+#include "defense/constellation_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "defense/cumulants.h"
+#include "dsp/require.h"
+#include "dsp/rng.h"
+
+namespace ctc::defense {
+namespace {
+
+TEST(BuilderTest, PairsChipsInOrder) {
+  const rvec chips = {1.0, -1.0, -1.0, 1.0};
+  BuilderConfig config;
+  config.rotate_to_axes = false;
+  const cvec points = build_constellation(chips, config);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0], (cplx{1.0, -1.0}));
+  EXPECT_EQ(points[1], (cplx{-1.0, 1.0}));
+}
+
+TEST(BuilderTest, RequiresWholePairs) {
+  EXPECT_THROW(build_constellation(rvec{1.0, 1.0, 1.0}), ContractError);
+  EXPECT_TRUE(build_constellation(rvec{}).empty());
+}
+
+TEST(BuilderTest, DerotationPutsDiagonalsOnAxes) {
+  const rvec chips = {1.0, 1.0};
+  const cvec points = build_constellation(chips);  // default: rotate
+  ASSERT_EQ(points.size(), 1u);
+  // (1 + j) * exp(-j pi/4) = sqrt(2) on the real axis.
+  EXPECT_NEAR(points[0].real(), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(points[0].imag(), 0.0, 1e-12);
+}
+
+TEST(BuilderTest, RotationPreservesMagnitude) {
+  dsp::Rng rng(160);
+  rvec chips(64);
+  for (auto& c : chips) c = rng.gaussian();
+  BuilderConfig rotated;
+  BuilderConfig raw;
+  raw.rotate_to_axes = false;
+  const cvec a = build_constellation(chips, rotated);
+  const cvec b = build_constellation(chips, raw);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i]), std::abs(b[i]), 1e-12);
+  }
+}
+
+TEST(BuilderTest, AuthenticChipsYieldQpskCumulants) {
+  // Random +-1 chip pairs (authentic traffic) -> axis QPSK after derotation
+  // -> C40 = +1, C42 = -1 (the paper's Fig. 10/11 high-SNR limits).
+  dsp::Rng rng(161);
+  rvec chips(4096);
+  for (auto& c : chips) c = rng.bit() ? 1.0 : -1.0;
+  const cvec points = build_constellation(chips);
+  const auto estimates = estimate_cumulants(points);
+  EXPECT_NEAR(estimates.normalized_c40().real(), 1.0, 0.02);
+  EXPECT_NEAR(estimates.normalized_c40().imag(), 0.0, 0.02);
+  EXPECT_NEAR(estimates.normalized_c42(), -1.0, 0.02);
+}
+
+TEST(BuilderTest, WithoutDerotationC40FlipsSign) {
+  // The same chips without the pi/4 derotation sit on the diagonals, whose
+  // C40 is -1 (e^{j 4 * pi/4} = -1): exactly why the builder derotates.
+  dsp::Rng rng(162);
+  rvec chips(4096);
+  for (auto& c : chips) c = rng.bit() ? 1.0 : -1.0;
+  BuilderConfig raw;
+  raw.rotate_to_axes = false;
+  const auto estimates = estimate_cumulants(build_constellation(chips, raw));
+  EXPECT_NEAR(estimates.normalized_c40().real(), -1.0, 0.02);
+  EXPECT_NEAR(estimates.normalized_c42(), -1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace ctc::defense

@@ -1,0 +1,149 @@
+#include "defense/cumulants.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/constellation.h"
+#include "dsp/require.h"
+#include "dsp/rng.h"
+
+namespace ctc::defense {
+namespace {
+
+cvec draw_constellation_samples(const cvec& constellation, std::size_t n,
+                                dsp::Rng& rng) {
+  cvec samples(n);
+  for (auto& s : samples) s = constellation[rng.uniform_index(constellation.size())];
+  return samples;
+}
+
+TEST(CumulantEstimatorTest, RequiresEnoughSamples) {
+  EXPECT_THROW(estimate_cumulants(cvec(3)), ContractError);
+}
+
+TEST(CumulantEstimatorTest, ExactOnFullQpskConstellation) {
+  // The four axis-QPSK points enumerated exactly: C20 = 0, C40 = 1, C42 = -1.
+  const cvec points = dsp::make_psk(4);
+  const CumulantEstimates estimates = estimate_cumulants(points);
+  EXPECT_NEAR(std::abs(estimates.c20), 0.0, 1e-12);
+  EXPECT_NEAR(estimates.c21, 1.0, 1e-12);
+  EXPECT_NEAR(estimates.normalized_c40().real(), 1.0, 1e-12);
+  EXPECT_NEAR(estimates.normalized_c42(), -1.0, 1e-12);
+}
+
+TEST(CumulantEstimatorTest, ScaleInvarianceOfNormalizedCumulants) {
+  dsp::Rng rng(140);
+  const cvec base = draw_constellation_samples(dsp::make_qam(16), 2000, rng);
+  cvec scaled(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) scaled[i] = 7.3 * base[i];
+  const auto a = estimate_cumulants(base);
+  const auto b = estimate_cumulants(scaled);
+  EXPECT_NEAR(a.normalized_c42(), b.normalized_c42(), 1e-9);
+  EXPECT_NEAR(std::abs(a.normalized_c40() - b.normalized_c40()), 0.0, 1e-9);
+}
+
+TEST(CumulantEstimatorTest, RotationScalesC40ByFourTimesAngle) {
+  // Sec. VI-C: a phase offset theta multiplies C40 by exp(j 4 theta) and
+  // leaves C42 (and |C40|) unchanged.
+  dsp::Rng rng(141);
+  const cvec base = draw_constellation_samples(dsp::make_psk(4), 4000, rng);
+  const double theta = 0.31;
+  cvec rotated(base.size());
+  const cplx rotation{std::cos(theta), std::sin(theta)};
+  for (std::size_t i = 0; i < base.size(); ++i) rotated[i] = base[i] * rotation;
+  const auto a = estimate_cumulants(base);
+  const auto b = estimate_cumulants(rotated);
+  const cplx expected = a.normalized_c40() * std::polar(1.0, 4.0 * theta);
+  EXPECT_NEAR(std::abs(b.normalized_c40() - expected), 0.0, 1e-9);
+  EXPECT_NEAR(b.normalized_c42(), a.normalized_c42(), 1e-9);
+  EXPECT_NEAR(std::abs(b.normalized_c40()), std::abs(a.normalized_c40()), 1e-9);
+}
+
+TEST(CumulantEstimatorTest, GaussianNoiseHasVanishingFourthCumulants) {
+  // Fourth-order cumulants of a complex Gaussian are zero — the property
+  // that makes cumulant features noise-robust.
+  dsp::Rng rng(142);
+  cvec noise(60000);
+  for (auto& x : noise) x = rng.complex_gaussian(1.0);
+  const auto estimates = estimate_cumulants(noise);
+  EXPECT_NEAR(std::abs(estimates.normalized_c40()), 0.0, 0.05);
+  EXPECT_NEAR(estimates.normalized_c42(), 0.0, 0.05);
+}
+
+TEST(CumulantEstimatorTest, NoiseCorrectionRestoresSignalCumulants) {
+  // QPSK + AWGN: normalizing by (C21 - sigma^2)^2 recovers the clean values.
+  dsp::Rng rng(143);
+  const double noise_variance = 0.2;  // SNR = 7 dB
+  cvec samples = draw_constellation_samples(dsp::make_psk(4), 50000, rng);
+  for (auto& s : samples) s += rng.complex_gaussian(noise_variance);
+  const auto estimates = estimate_cumulants(samples);
+  // Without correction the estimates are biased toward 0.
+  EXPECT_LT(estimates.normalized_c42(), -0.5);
+  EXPECT_GT(estimates.normalized_c42(), -0.9);
+  // With correction they come back near the theory.
+  EXPECT_NEAR(estimates.normalized_c42(noise_variance), -1.0, 0.05);
+  EXPECT_NEAR(estimates.normalized_c40(noise_variance).real(), 1.0, 0.05);
+}
+
+TEST(CumulantEstimatorTest, CorrectionRejectsOverlargeNoiseVariance) {
+  const cvec points = dsp::make_psk(4);
+  const auto estimates = estimate_cumulants(points);
+  EXPECT_THROW(estimates.normalized_c42(2.0), ContractError);
+  EXPECT_THROW(estimates.normalized_c40(-0.1), ContractError);
+}
+
+struct TableThreeCase {
+  ModulationClass klass;
+  const char* name;
+};
+
+class TableThreeTest : public ::testing::TestWithParam<TableThreeCase> {};
+
+TEST_P(TableThreeTest, MonteCarloMatchesTheoreticalCumulants) {
+  // Table III: sample cumulants of each unit-power constellation converge to
+  // the published theoretical values.
+  const auto [klass, name] = GetParam();
+  cvec constellation;
+  switch (klass) {
+    case ModulationClass::bpsk: constellation = dsp::make_psk(2); break;
+    case ModulationClass::qpsk: constellation = dsp::make_psk(4); break;
+    case ModulationClass::psk_higher: constellation = dsp::make_psk(8); break;
+    case ModulationClass::pam4: constellation = dsp::make_pam(4); break;
+    case ModulationClass::pam8: constellation = dsp::make_pam(8); break;
+    case ModulationClass::pam16: constellation = dsp::make_pam(16); break;
+    case ModulationClass::qam16: constellation = dsp::make_qam(16); break;
+    case ModulationClass::qam64: constellation = dsp::make_qam(64); break;
+    case ModulationClass::qam256: constellation = dsp::make_qam(256); break;
+  }
+  dsp::Rng rng(150 + static_cast<int>(klass));
+  const cvec samples = draw_constellation_samples(constellation, 200000, rng);
+  const auto estimates = estimate_cumulants(samples);
+  const TheoreticalCumulants theory = theoretical_cumulants(klass);
+  EXPECT_NEAR(std::abs(estimates.c20 / estimates.c21), theory.c20, 0.02) << name;
+  EXPECT_NEAR(estimates.normalized_c40().real(), theory.c40, 0.03) << name;
+  EXPECT_NEAR(estimates.normalized_c42(), theory.c42, 0.03) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, TableThreeTest,
+    ::testing::Values(TableThreeCase{ModulationClass::bpsk, "BPSK"},
+                      TableThreeCase{ModulationClass::qpsk, "QPSK"},
+                      TableThreeCase{ModulationClass::psk_higher, "8PSK"},
+                      TableThreeCase{ModulationClass::pam4, "4PAM"},
+                      TableThreeCase{ModulationClass::pam8, "8PAM"},
+                      TableThreeCase{ModulationClass::pam16, "16PAM"},
+                      TableThreeCase{ModulationClass::qam16, "16QAM"},
+                      TableThreeCase{ModulationClass::qam64, "64QAM"},
+                      TableThreeCase{ModulationClass::qam256, "256QAM"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(TableThreeTest, ExactTheoreticalValuesFromThePaper) {
+  EXPECT_DOUBLE_EQ(theoretical_cumulants(ModulationClass::qpsk).c40, 1.0);
+  EXPECT_DOUBLE_EQ(theoretical_cumulants(ModulationClass::qpsk).c42, -1.0);
+  EXPECT_DOUBLE_EQ(theoretical_cumulants(ModulationClass::bpsk).c40, -2.0);
+  EXPECT_DOUBLE_EQ(theoretical_cumulants(ModulationClass::qam64).c40, -0.619);
+  EXPECT_DOUBLE_EQ(theoretical_cumulants(ModulationClass::qam256).c42, -0.6047);
+  EXPECT_EQ(to_string(ModulationClass::psk_higher), "PSK(>4)");
+}
+
+}  // namespace
+}  // namespace ctc::defense

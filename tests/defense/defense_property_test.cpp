@@ -1,0 +1,111 @@
+// Property-style sweeps over the defense features.
+#include <gtest/gtest.h>
+
+#include "defense/detector.h"
+#include "dsp/rng.h"
+
+namespace ctc::defense {
+namespace {
+
+rvec qpsk_chips(std::size_t n, double noise, dsp::Rng& rng) {
+  rvec chips(n);
+  for (auto& c : chips) c = (rng.bit() ? 1.0 : -1.0) + noise * rng.gaussian();
+  return chips;
+}
+
+class RotationAngleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RotationAngleTest, C40RotatesByFourTheta_C42AndMagnitudeInvariant) {
+  dsp::Rng rng(1000);
+  const rvec chips = qpsk_chips(8192, 0.1, rng);
+  const double theta = GetParam();
+  rvec rotated(chips.size());
+  for (std::size_t i = 0; i + 1 < chips.size(); i += 2) {
+    const cplx p = cplx{chips[i], chips[i + 1]} * std::polar(1.0, theta);
+    rotated[i] = p.real();
+    rotated[i + 1] = p.imag();
+  }
+  const cvec base_points = build_constellation(chips);
+  const cvec rotated_points = build_constellation(rotated);
+  const auto base = estimate_cumulants(base_points);
+  const auto rot = estimate_cumulants(rotated_points);
+  const cplx expected = base.normalized_c40() * std::polar(1.0, 4.0 * theta);
+  EXPECT_NEAR(std::abs(rot.normalized_c40() - expected), 0.0, 1e-9);
+  EXPECT_NEAR(rot.normalized_c42(), base.normalized_c42(), 1e-9);
+  EXPECT_NEAR(std::abs(rot.normalized_c40()), std::abs(base.normalized_c40()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RotationAngleTest,
+                         ::testing::Values(0.1, 0.5, kPi / 4.0, 1.3, 2.9,
+                                           -0.7, -2.0));
+
+class ScaleInvarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleInvarianceTest, DetectorFeatureIsScaleFree) {
+  dsp::Rng rng(1001);
+  const rvec chips = qpsk_chips(4096, 0.25, rng);
+  rvec scaled(chips.size());
+  for (std::size_t i = 0; i < chips.size(); ++i) scaled[i] = GetParam() * chips[i];
+  Detector detector;
+  const Feature a = detector.feature_from_chips(chips);
+  const Feature b = detector.feature_from_chips(scaled);
+  EXPECT_NEAR(a.c40, b.c40, 1e-9);
+  EXPECT_NEAR(a.c42, b.c42, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleInvarianceTest,
+                         ::testing::Values(0.01, 0.5, 2.0, 37.0, 1e3));
+
+class NoiseMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoiseMonotonicityTest, DistanceGrowsWithNoiseOnAverage) {
+  dsp::Rng rng(1100 + GetParam());
+  Detector detector;
+  auto mean_distance = [&](double noise) {
+    double acc = 0.0;
+    for (int trial = 0; trial < 6; ++trial) {
+      acc += detector.classify(qpsk_chips(4096, noise, rng)).distance_sq;
+    }
+    return acc / 6.0;
+  };
+  const double clean = mean_distance(0.05);
+  const double noisy = mean_distance(0.6);
+  EXPECT_LT(clean, noisy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoiseMonotonicityTest, ::testing::Range(0, 4));
+
+TEST(DefensePropertyTest, PermutationOfPairsDoesNotChangeFeatures) {
+  // Cumulants are symmetric functions of the point set: shuffling whole
+  // (I, Q) pairs leaves every feature identical.
+  dsp::Rng rng(1200);
+  rvec chips = qpsk_chips(1024, 0.3, rng);
+  Detector detector;
+  const Feature before = detector.feature_from_chips(chips);
+  // Fisher-Yates over pairs.
+  for (std::size_t i = chips.size() / 2; i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    std::swap(chips[2 * (i - 1)], chips[2 * j]);
+    std::swap(chips[2 * (i - 1) + 1], chips[2 * j + 1]);
+  }
+  const Feature after = detector.feature_from_chips(chips);
+  EXPECT_NEAR(before.c40, after.c40, 1e-9);
+  EXPECT_NEAR(before.c42, after.c42, 1e-9);
+}
+
+TEST(DefensePropertyTest, ConjugationFlipsNothingThatMatters) {
+  // Mirroring the constellation (Q -> -Q) is another fixed symmetry of
+  // QPSK: the detector must be indifferent.
+  dsp::Rng rng(1201);
+  rvec chips = qpsk_chips(4096, 0.2, rng);
+  rvec mirrored(chips);
+  for (std::size_t i = 1; i < mirrored.size(); i += 2) mirrored[i] = -mirrored[i];
+  Detector detector;
+  const Feature a = detector.feature_from_chips(chips);
+  const Feature b = detector.feature_from_chips(mirrored);
+  EXPECT_NEAR(a.c40, b.c40, 0.05);
+  EXPECT_NEAR(a.c42, b.c42, 0.05);
+}
+
+}  // namespace
+}  // namespace ctc::defense

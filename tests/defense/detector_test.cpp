@@ -1,0 +1,136 @@
+#include "defense/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/require.h"
+#include "dsp/rng.h"
+
+namespace ctc::defense {
+namespace {
+
+rvec authentic_chips(std::size_t n, double noise, dsp::Rng& rng) {
+  rvec chips(n);
+  for (auto& c : chips) c = (rng.bit() ? 1.0 : -1.0) + noise * rng.gaussian();
+  return chips;
+}
+
+rvec distorted_chips(std::size_t n, dsp::Rng& rng) {
+  // Heavy-tailed amplitudes, like discriminator output over an emulated
+  // waveform: mixture of nominal chips and large spikes.
+  rvec chips(n);
+  for (auto& c : chips) {
+    const double base = rng.bit() ? 1.0 : -1.0;
+    const double spike = (rng.uniform() < 0.2) ? 2.5 * rng.gaussian() : 0.0;
+    c = base + 0.3 * rng.gaussian() + spike;
+  }
+  return chips;
+}
+
+TEST(FeatureTest, DistanceSquaredAgainstQpskAnchor) {
+  Feature feature;
+  feature.c40 = 1.0;
+  feature.c42 = -1.0;
+  EXPECT_DOUBLE_EQ(feature.distance_sq(), 0.0);
+  feature.c40 = 0.0;
+  feature.c42 = 0.0;
+  EXPECT_DOUBLE_EQ(feature.distance_sq(), 2.0);
+}
+
+TEST(DetectorTest, AuthenticChipsPassHypothesisTest) {
+  dsp::Rng rng(180);
+  Detector detector;
+  const Verdict verdict = detector.classify(authentic_chips(2048, 0.15, rng));
+  EXPECT_FALSE(verdict.is_attack);
+  EXPECT_LT(verdict.distance_sq, 0.1);
+  EXPECT_NEAR(verdict.feature.c40, 1.0, 0.2);
+  EXPECT_NEAR(verdict.feature.c42, -1.0, 0.2);
+}
+
+TEST(DetectorTest, DistortedChipsAreFlagged) {
+  dsp::Rng rng(181);
+  Detector detector;
+  const Verdict verdict = detector.classify(distorted_chips(2048, rng));
+  EXPECT_TRUE(verdict.is_attack);
+  EXPECT_GT(verdict.distance_sq, 0.5);
+}
+
+TEST(DetectorTest, ThresholdIsRespected) {
+  dsp::Rng rng(182);
+  const rvec chips = authentic_chips(2048, 0.4, rng);
+  DetectorConfig strict;
+  strict.threshold = 1e-6;  // everything is an attack
+  EXPECT_TRUE(Detector(strict).classify(chips).is_attack);
+  DetectorConfig lax;
+  lax.threshold = 100.0;  // nothing is
+  EXPECT_FALSE(Detector(lax).classify(chips).is_attack);
+  DetectorConfig bad;
+  bad.threshold = 0.0;
+  EXPECT_THROW(Detector{bad}, ContractError);
+}
+
+TEST(DetectorTest, RealPartModeDegradesUnderRotationMagnitudeModeDoesNot) {
+  // Sec. VI-C: a phase offset rotates C40 by e^{j4 theta}; Re C40 collapses
+  // while |C40| is invariant.
+  dsp::Rng rng(183);
+  const rvec base = authentic_chips(4096, 0.1, rng);
+  // Apply a 30-degree rotation in the constellation domain by rotating the
+  // chip pairs: equivalent to rotating built points.
+  const double theta = kPi / 6.0;
+  rvec rotated(base.size());
+  for (std::size_t i = 0; i + 1 < base.size(); i += 2) {
+    const cplx p = cplx{base[i], base[i + 1]} * std::polar(1.0, theta);
+    rotated[i] = p.real();
+    rotated[i + 1] = p.imag();
+  }
+  DetectorConfig real_mode;
+  real_mode.c40_mode = C40Mode::real_part;
+  DetectorConfig magnitude_mode;
+  magnitude_mode.c40_mode = C40Mode::magnitude;
+  const Verdict real_verdict = Detector(real_mode).classify(rotated);
+  const Verdict magnitude_verdict = Detector(magnitude_mode).classify(rotated);
+  // 4 * 30 = 120 degrees: Re C40 ~ -0.5 -> large distance, false alarm.
+  EXPECT_GT(real_verdict.distance_sq, 1.0);
+  // |C40| ~ 1: still authentic.
+  EXPECT_LT(magnitude_verdict.distance_sq, 0.1);
+  EXPECT_FALSE(magnitude_verdict.is_attack);
+}
+
+TEST(DetectorTest, NoiseVarianceCorrectionTightensLowSnrFeatures) {
+  dsp::Rng rng(184);
+  const double noise = 0.45;  // ~7 dB per chip
+  const rvec chips = authentic_chips(8192, noise, rng);
+  DetectorConfig plain;
+  DetectorConfig corrected;
+  corrected.noise_variance = 2.0 * noise * noise;  // per complex point
+  const double d_plain = Detector(plain).classify(chips).distance_sq;
+  const double d_corrected = Detector(corrected).classify(chips).distance_sq;
+  EXPECT_LT(d_corrected, d_plain);
+}
+
+TEST(DetectorTest, FeatureFromPointsMatchesFeatureFromChips) {
+  dsp::Rng rng(185);
+  const rvec chips = authentic_chips(512, 0.2, rng);
+  Detector detector;
+  const Feature from_chips = detector.feature_from_chips(chips);
+  const cvec points = build_constellation(chips);
+  const Feature from_points = detector.feature_from_points(points);
+  EXPECT_DOUBLE_EQ(from_chips.c40, from_points.c40);
+  EXPECT_DOUBLE_EQ(from_chips.c42, from_points.c42);
+}
+
+TEST(CalibrationTest, MidpointOfSeparableClasses) {
+  const rvec authentic = {0.01, 0.05, 0.12};
+  const rvec emulated = {0.9, 1.4, 2.0};
+  EXPECT_DOUBLE_EQ(Detector::calibrate_threshold(authentic, emulated),
+                   0.5 * (0.12 + 0.9));
+}
+
+TEST(CalibrationTest, OverlappingClassesThrow) {
+  const rvec authentic = {0.1, 0.9};
+  const rvec emulated = {0.5, 1.5};
+  EXPECT_THROW(Detector::calibrate_threshold(authentic, emulated), ContractError);
+  EXPECT_THROW(Detector::calibrate_threshold(rvec{}, emulated), ContractError);
+}
+
+}  // namespace
+}  // namespace ctc::defense

@@ -1,0 +1,129 @@
+#include "defense/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dsp/require.h"
+
+namespace ctc::defense {
+namespace {
+
+cvec four_clusters(std::size_t per_cluster, double spread, dsp::Rng& rng) {
+  const cvec centers = {{1.0, 1.0}, {-1.0, 1.0}, {-1.0, -1.0}, {1.0, -1.0}};
+  cvec points;
+  for (const cplx& center : centers) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      points.push_back(center + rng.complex_gaussian(spread * spread));
+    }
+  }
+  return points;
+}
+
+TEST(KmeansTest, FindsFourCleanClusters) {
+  dsp::Rng rng(170);
+  const cvec points = four_clusters(100, 0.08, rng);
+  const KmeansResult result = kmeans(points, rng);
+  ASSERT_EQ(result.centroids.size(), 4u);
+  // Every true center has a centroid within 0.1.
+  for (const cplx& center : {cplx{1, 1}, cplx{-1, 1}, cplx{-1, -1}, cplx{1, -1}}) {
+    double best = 1e9;
+    for (const cplx& c : result.centroids) best = std::min(best, std::abs(c - center));
+    EXPECT_LT(best, 0.1);
+  }
+}
+
+TEST(KmeansTest, AssignmentsMatchNearestCentroid) {
+  dsp::Rng rng(171);
+  const cvec points = four_clusters(50, 0.1, rng);
+  const KmeansResult result = kmeans(points, rng);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::size_t nearest = 0;
+    double best = 1e300;
+    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+      const double d = std::norm(points[i] - result.centroids[c]);
+      if (d < best) {
+        best = d;
+        nearest = c;
+      }
+    }
+    EXPECT_EQ(result.assignment[i], nearest);
+  }
+}
+
+TEST(KmeansTest, ObjectiveIsSumOfSquaredDistances) {
+  dsp::Rng rng(172);
+  const cvec points = four_clusters(25, 0.2, rng);
+  const KmeansResult result = kmeans(points, rng);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    expected += std::norm(points[i] - result.centroids[result.assignment[i]]);
+  }
+  EXPECT_NEAR(result.within_cluster_ss, expected, 1e-9);
+}
+
+TEST(KmeansTest, TightClustersBeatLooseClusters) {
+  dsp::Rng rng(173);
+  const cvec tight = four_clusters(50, 0.05, rng);
+  const cvec loose = four_clusters(50, 0.5, rng);
+  const double tight_ss = kmeans(tight, rng).within_cluster_ss;
+  const double loose_ss = kmeans(loose, rng).within_cluster_ss;
+  EXPECT_LT(tight_ss, loose_ss);
+}
+
+TEST(KmeansTest, KEqualsNumberOfPointsGivesZeroObjective) {
+  dsp::Rng rng(174);
+  const cvec points = {{0, 0}, {1, 0}, {0, 1}, {5, 5}};
+  KmeansConfig config;
+  config.k = 4;
+  const KmeansResult result = kmeans(points, rng, config);
+  EXPECT_NEAR(result.within_cluster_ss, 0.0, 1e-12);
+}
+
+TEST(KmeansTest, SingleClusterReturnsCentroidOfAll) {
+  dsp::Rng rng(175);
+  const cvec points = {{1, 0}, {3, 0}, {5, 0}};
+  KmeansConfig config;
+  config.k = 1;
+  const KmeansResult result = kmeans(points, rng, config);
+  EXPECT_NEAR(result.centroids[0].real(), 3.0, 1e-9);
+}
+
+TEST(KmeansTest, HandlesDuplicatePoints) {
+  dsp::Rng rng(176);
+  cvec points(20, cplx{2.0, -1.0});
+  KmeansConfig config;
+  config.k = 4;
+  const KmeansResult result = kmeans(points, rng, config);
+  EXPECT_NEAR(result.within_cluster_ss, 0.0, 1e-12);
+}
+
+TEST(KmeansTest, RejectsMorelustersThanPoints) {
+  dsp::Rng rng(177);
+  const cvec points = {{0, 0}, {1, 1}};
+  KmeansConfig config;
+  config.k = 3;
+  EXPECT_THROW(kmeans(points, rng, config), ContractError);
+  config.k = 0;
+  EXPECT_THROW(kmeans(points, rng, config), ContractError);
+}
+
+TEST(KmeansTest, DeterministicGivenSeed) {
+  dsp::Rng rng_a(178);
+  dsp::Rng rng_b(178);
+  const cvec points = four_clusters(30, 0.2, rng_a);
+  dsp::Rng rng_c(178);
+  const cvec points_b = four_clusters(30, 0.2, rng_c);
+  const KmeansResult a = kmeans(points, rng_a);
+  // Regenerate identical inputs and rng state.
+  dsp::Rng rng_d(178);
+  const cvec points_c = four_clusters(30, 0.2, rng_d);
+  const KmeansResult b = kmeans(points_c, rng_d);
+  ASSERT_EQ(a.centroids.size(), b.centroids.size());
+  for (std::size_t i = 0; i < a.centroids.size(); ++i) {
+    EXPECT_EQ(a.centroids[i], b.centroids[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ctc::defense

@@ -1,0 +1,124 @@
+#include "defense/likelihood.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/constellation.h"
+#include "dsp/require.h"
+#include "dsp/rng.h"
+#include "dsp/stats.h"
+
+namespace ctc::defense {
+namespace {
+
+cvec draw(const cvec& constellation, std::size_t n, double noise, dsp::Rng& rng) {
+  cvec samples(n);
+  for (auto& s : samples) {
+    s = constellation[rng.uniform_index(constellation.size())] +
+        rng.complex_gaussian(noise);
+  }
+  return samples;
+}
+
+TEST(LogLikelihoodTest, TrueConstellationBeatsWrongOne) {
+  dsp::Rng rng(1700);
+  const double noise = 0.05;
+  const cvec samples = draw(dsp::make_psk(4), 2000, noise, rng);
+  const double qpsk = log_likelihood(samples, dsp::make_psk(4), noise, 0.0);
+  const double bpsk = log_likelihood(samples, dsp::make_psk(2), noise, 0.0);
+  const double qam = log_likelihood(samples, dsp::make_qam(16), noise, 0.0);
+  EXPECT_GT(qpsk, bpsk);
+  EXPECT_GT(qpsk, qam);
+}
+
+TEST(LogLikelihoodTest, CorrectPhaseBeatsWrongPhase) {
+  dsp::Rng rng(1701);
+  const double noise = 0.05;
+  cvec samples = draw(dsp::make_psk(4), 2000, noise, rng);
+  const cplx rotation = std::polar(1.0, 0.35);
+  for (auto& s : samples) s *= rotation;
+  const cvec qpsk = dsp::make_psk(4);
+  EXPECT_GT(log_likelihood(samples, qpsk, noise, 0.35),
+            log_likelihood(samples, qpsk, noise, 0.0));
+}
+
+TEST(LogLikelihoodTest, ValidatesInputs) {
+  const cvec samples = {{1.0, 0.0}};
+  EXPECT_THROW(log_likelihood(samples, dsp::make_psk(4), 0.0, 0.0), ContractError);
+  EXPECT_THROW(log_likelihood(cvec{}, dsp::make_psk(4), 0.1, 0.0), ContractError);
+  EXPECT_THROW(log_likelihood(samples, cvec{}, 0.1, 0.0), ContractError);
+}
+
+class HlrtClassTest : public ::testing::TestWithParam<ModulationClass> {};
+
+TEST_P(HlrtClassTest, ClassifiesNoisySamplesWithRandomPhase) {
+  dsp::Rng rng(1710 + static_cast<int>(GetParam()));
+  cvec constellation;
+  switch (GetParam()) {
+    case ModulationClass::bpsk: constellation = dsp::make_psk(2); break;
+    case ModulationClass::qpsk: constellation = dsp::make_psk(4); break;
+    case ModulationClass::qam16: constellation = dsp::make_qam(16); break;
+    case ModulationClass::qam64: constellation = dsp::make_qam(64); break;
+    default: constellation = dsp::make_psk(4);
+  }
+  const double noise = dsp::from_db(-15.0);
+  cvec samples = draw(constellation, 3000, noise, rng);
+  // HLRT's whole point: unknown carrier phase.
+  const cplx rotation = std::polar(1.0, rng.uniform(0.0, kTwoPi));
+  for (auto& s : samples) s *= rotation;
+  LikelihoodConfig config;
+  config.noise_variance = noise;
+  config.phase_hypotheses = 32;
+  const LikelihoodResult result = classify_likelihood(samples, config);
+  EXPECT_EQ(result.best, GetParam()) << to_string(result.best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, HlrtClassTest,
+                         ::testing::Values(ModulationClass::bpsk,
+                                           ModulationClass::qpsk,
+                                           ModulationClass::qam16,
+                                           ModulationClass::qam64),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::erase_if(name, [](char c) {
+                             return !std::isalnum(static_cast<unsigned char>(c));
+                           });
+                           return name;
+                         });
+
+TEST(HlrtTest, RankingIsSortedDescending) {
+  dsp::Rng rng(1720);
+  const cvec samples = draw(dsp::make_psk(4), 1000, 0.05, rng);
+  const LikelihoodResult result = classify_likelihood(samples);
+  ASSERT_EQ(result.ranking.size(), 9u);
+  for (std::size_t i = 1; i < result.ranking.size(); ++i) {
+    EXPECT_GE(result.ranking[i - 1].log_likelihood,
+              result.ranking[i].log_likelihood);
+  }
+  EXPECT_EQ(result.ranking.front().modulation, result.best);
+}
+
+TEST(HlrtTest, BinaryLlrSeparatesQpskFromQam) {
+  dsp::Rng rng(1721);
+  const double noise = 0.05;
+  LikelihoodConfig config;
+  config.noise_variance = noise;
+  const cvec qpsk_samples = draw(dsp::make_psk(4), 1500, noise, rng);
+  const cvec qam_samples = draw(dsp::make_qam(64), 1500, noise, rng);
+  EXPECT_GT(qpsk_vs_qam64_llr(qpsk_samples, config), 0.0);
+  EXPECT_LT(qpsk_vs_qam64_llr(qam_samples, config), 0.0);
+}
+
+TEST(HlrtTest, UnknownSignalLevelIsHandledByNormalization) {
+  dsp::Rng rng(1722);
+  cvec samples = draw(dsp::make_psk(4), 1500, 0.05, rng);
+  for (auto& s : samples) s *= 11.0;  // arbitrary gain
+  LikelihoodConfig config;
+  config.noise_variance = 0.05 / (dsp::average_power(samples) / 121.0 / 1.0);
+  // Normalization makes the gain irrelevant; use a sane noise figure.
+  config.noise_variance = 0.06;
+  const LikelihoodResult result = classify_likelihood(samples, config);
+  EXPECT_EQ(result.best, ModulationClass::qpsk);
+}
+
+}  // namespace
+}  // namespace ctc::defense

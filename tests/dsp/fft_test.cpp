@@ -1,0 +1,147 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/require.h"
+#include "dsp/rng.h"
+#include "dsp/stats.h"
+
+namespace ctc::dsp {
+namespace {
+
+cvec random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  cvec x(n);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  return x;
+}
+
+double max_abs_diff(const cvec& a, const cvec& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+TEST(FftTest, PowerOfTwoDetection) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(65));
+}
+
+TEST(FftTest, RejectsNonPowerOfTwoSizes) {
+  EXPECT_THROW(FftPlan(3), ContractError);
+  EXPECT_THROW(FftPlan(0), ContractError);
+  EXPECT_THROW(FftPlan(1), ContractError);
+}
+
+TEST(FftTest, RejectsWrongInputLength) {
+  FftPlan plan(8);
+  cvec x(7);
+  EXPECT_THROW(plan.forward(x), ContractError);
+  EXPECT_THROW(plan.inverse(x), ContractError);
+}
+
+TEST(FftTest, ImpulseTransformsToFlatSpectrum) {
+  FftPlan plan(16);
+  cvec x(16, cplx{0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const cvec spectrum = plan.forward(x);
+  for (const cplx& value : spectrum) {
+    EXPECT_NEAR(value.real(), 1.0, 1e-12);
+    EXPECT_NEAR(value.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  FftPlan plan(n);
+  cvec x(n);
+  const std::size_t tone = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = kTwoPi * static_cast<double>(tone) * static_cast<double>(i) /
+                         static_cast<double>(n);
+    x[i] = {std::cos(angle), std::sin(angle)};
+  }
+  const cvec spectrum = plan.forward(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == tone) {
+      EXPECT_NEAR(std::abs(spectrum[k]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(spectrum[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+class FftSizesTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizesTest, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const cvec x = random_signal(n, 100 + n);
+  FftPlan plan(n);
+  EXPECT_LT(max_abs_diff(plan.forward(x), dft(x)), 1e-9);
+}
+
+TEST_P(FftSizesTest, InverseMatchesReferenceIdft) {
+  const std::size_t n = GetParam();
+  const cvec x = random_signal(n, 200 + n);
+  FftPlan plan(n);
+  EXPECT_LT(max_abs_diff(plan.inverse(x), idft(x)), 1e-9);
+}
+
+TEST_P(FftSizesTest, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const cvec x = random_signal(n, 300 + n);
+  FftPlan plan(n);
+  EXPECT_LT(max_abs_diff(plan.inverse(plan.forward(x)), x), 1e-9);
+}
+
+TEST_P(FftSizesTest, ParsevalHolds) {
+  // The identity the attack's Eq. (2) rests on:
+  // sum |x|^2 == (1/N) sum |X|^2.
+  const std::size_t n = GetParam();
+  const cvec x = random_signal(n, 400 + n);
+  FftPlan plan(n);
+  const cvec spectrum = plan.forward(x);
+  EXPECT_NEAR(energy(x), energy(spectrum) / static_cast<double>(n), 1e-8 * energy(x));
+}
+
+TEST_P(FftSizesTest, LinearityHolds) {
+  const std::size_t n = GetParam();
+  const cvec a = random_signal(n, 500 + n);
+  const cvec b = random_signal(n, 600 + n);
+  cvec sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + cplx{0.0, 3.0} * b[i];
+  FftPlan plan(n);
+  const cvec fa = plan.forward(a);
+  const cvec fb = plan.forward(b);
+  const cvec fsum = plan.forward(sum);
+  cvec expected(n);
+  for (std::size_t i = 0; i < n; ++i) expected[i] = 2.0 * fa[i] + cplx{0.0, 3.0} * fb[i];
+  EXPECT_LT(max_abs_diff(fsum, expected), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizesTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256));
+
+TEST(FftShiftTest, EvenLengthSwapsHalves) {
+  const cvec x = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const cvec shifted = fftshift(x);
+  EXPECT_DOUBLE_EQ(shifted[0].real(), 2.0);
+  EXPECT_DOUBLE_EQ(shifted[1].real(), 3.0);
+  EXPECT_DOUBLE_EQ(shifted[2].real(), 0.0);
+  EXPECT_DOUBLE_EQ(shifted[3].real(), 1.0);
+}
+
+TEST(FftShiftTest, InverseUndoesShiftForOddAndEvenLengths) {
+  for (std::size_t n : {4u, 5u, 7u, 64u}) {
+    const cvec x = random_signal(n, 700 + n);
+    EXPECT_LT(max_abs_diff(ifftshift(fftshift(x)), x), 1e-15) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace ctc::dsp

@@ -1,0 +1,109 @@
+#include "dsp/psd.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/require.h"
+#include "dsp/rng.h"
+#include "dsp/stats.h"
+#include "zigbee/app.h"
+#include "zigbee/transmitter.h"
+
+namespace ctc::dsp {
+namespace {
+
+TEST(PsdTest, SingleToneConcentratesInOneBin) {
+  const std::size_t n = 4096;
+  cvec tone(n);
+  const double frequency = 0.125;  // cycles/sample
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = kTwoPi * frequency * static_cast<double>(i);
+    tone[i] = {std::cos(angle), std::sin(angle)};
+  }
+  PsdConfig config;
+  config.sample_rate_hz = 8.0;  // tone at +1 Hz
+  const PsdResult psd = welch_psd(tone, config);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < psd.power.size(); ++i) {
+    if (psd.power[i] > psd.power[peak]) peak = i;
+  }
+  EXPECT_NEAR(psd.frequency_hz[peak], 1.0, 8.0 / 256.0);
+  EXPECT_GT(band_power_fraction(psd, 0.8, 1.2), 0.95);
+}
+
+TEST(PsdTest, TotalPowerMatchesSignalPower) {
+  Rng rng(310);
+  cvec noise(8192);
+  for (auto& x : noise) x = rng.complex_gaussian(2.5);
+  const PsdResult psd = welch_psd(noise);
+  double total = 0.0;
+  for (double p : psd.power) total += p;
+  EXPECT_NEAR(total, 2.5, 0.15);
+}
+
+TEST(PsdTest, WhiteNoiseIsFlat) {
+  Rng rng(311);
+  cvec noise(1 << 15);
+  for (auto& x : noise) x = rng.complex_gaussian(1.0);
+  const PsdResult psd = welch_psd(noise);
+  const double mean_power = 1.0 / static_cast<double>(psd.power.size());
+  for (double p : psd.power) {
+    EXPECT_GT(p, 0.2 * mean_power);
+    EXPECT_LT(p, 3.0 * mean_power);
+  }
+}
+
+TEST(PsdTest, ZigBeeWaveformOccupiesTwoMegahertz) {
+  // The premise of the whole attack: the ZigBee signal fits in ~2 MHz, i.e.
+  // ~7 of 64 WiFi subcarriers.
+  zigbee::Transmitter tx;
+  const cvec wave = tx.transmit_frame(zigbee::make_text_frame(0, 0));
+  PsdConfig config;
+  config.sample_rate_hz = 4.0e6;
+  const PsdResult psd = welch_psd(wave, config);
+  EXPECT_GT(band_power_fraction(psd, -1.0e6, 1.0e6), 0.85);
+  EXPECT_GT(band_power_fraction(psd, -1.5e6, 1.5e6), 0.97);
+}
+
+TEST(PsdTest, FrequencyAxisIsCenteredAndAscending) {
+  Rng rng(312);
+  cvec x(512);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  PsdConfig config;
+  config.segment_size = 128;
+  config.sample_rate_hz = 128.0;
+  const PsdResult psd = welch_psd(x, config);
+  ASSERT_EQ(psd.frequency_hz.size(), 128u);
+  EXPECT_DOUBLE_EQ(psd.frequency_hz.front(), -64.0);
+  EXPECT_DOUBLE_EQ(psd.frequency_hz[64], 0.0);
+  for (std::size_t i = 1; i < psd.frequency_hz.size(); ++i) {
+    EXPECT_GT(psd.frequency_hz[i], psd.frequency_hz[i - 1]);
+  }
+}
+
+TEST(PsdTest, OverlapIncreasesSegmentCount) {
+  Rng rng(313);
+  cvec x(2048);
+  for (auto& v : x) v = rng.complex_gaussian(1.0);
+  PsdConfig no_overlap;
+  no_overlap.overlap = 0.0;
+  PsdConfig half_overlap;
+  half_overlap.overlap = 0.5;
+  EXPECT_GT(welch_psd(x, half_overlap).segments_used,
+            welch_psd(x, no_overlap).segments_used);
+}
+
+TEST(PsdTest, RejectsBadConfig) {
+  cvec x(100);
+  PsdConfig config;
+  config.segment_size = 200;  // not a power of two
+  EXPECT_THROW(welch_psd(x, config), ContractError);
+  config.segment_size = 256;  // longer than the signal
+  EXPECT_THROW(welch_psd(x, config), ContractError);
+  PsdConfig bad_overlap;
+  bad_overlap.segment_size = 64;
+  bad_overlap.overlap = 1.0;
+  EXPECT_THROW(welch_psd(x, bad_overlap), ContractError);
+}
+
+}  // namespace
+}  // namespace ctc::dsp

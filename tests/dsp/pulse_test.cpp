@@ -1,0 +1,51 @@
+#include "dsp/pulse.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/require.h"
+#include "dsp/types.h"
+
+namespace ctc::dsp {
+namespace {
+
+TEST(PulseTest, LengthIsTwoChipPeriods) {
+  EXPECT_EQ(half_sine_pulse(2).size(), 4u);
+  EXPECT_EQ(half_sine_pulse(8).size(), 16u);
+}
+
+TEST(PulseTest, StartsAtZeroPeaksAtCenter) {
+  const rvec p = half_sine_pulse(4);
+  EXPECT_NEAR(p[0], 0.0, 1e-12);
+  EXPECT_NEAR(p[4], 1.0, 1e-12);  // center of 8 samples
+  for (double v : p) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(PulseTest, SymmetricAboutCenter) {
+  const rvec p = half_sine_pulse(8);
+  // sin(pi i / n) symmetry: p[i] == p[n - i] for i >= 1.
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_NEAR(p[i], std::sin(kPi * static_cast<double>(p.size() - i) /
+                               static_cast<double>(p.size())),
+                1e-12);
+  }
+}
+
+TEST(PulseTest, OffsetSquaredPairSumsToOne) {
+  // The MSK constant-envelope property: p(t)^2 + p(t + Tc)^2 == 1, which is
+  // why overlapping I/Q half-sines give |s(t)| == 1.
+  const std::size_t spc = 6;
+  const rvec p = half_sine_pulse(spc);
+  for (std::size_t i = 0; i < spc; ++i) {
+    EXPECT_NEAR(p[i] * p[i] + p[i + spc] * p[i + spc], 1.0, 1e-12);
+  }
+}
+
+TEST(PulseTest, RejectsZeroSamplesPerChip) {
+  EXPECT_THROW(half_sine_pulse(0), ContractError);
+}
+
+}  // namespace
+}  // namespace ctc::dsp

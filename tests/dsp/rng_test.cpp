@@ -1,0 +1,132 @@
+#include "dsp/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/require.h"
+
+namespace ctc::dsp {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 0.0), ContractError);
+}
+
+TEST(RngTest, UniformFirstTwoMomentsMatchTheory) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+  EXPECT_NEAR(sum_sq / n, 1.0 / 3.0, 0.005);
+}
+
+TEST(RngTest, GaussianMomentsMatchTheory) {
+  Rng rng(12);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double sum_4 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+    sum_4 += g * g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+  EXPECT_NEAR(sum_4 / n, 3.0, 0.1);  // normal kurtosis
+}
+
+TEST(RngTest, ComplexGaussianVarianceSplitsAcrossAxes) {
+  Rng rng(13);
+  double power = 0.0;
+  double real_part = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const cplx z = rng.complex_gaussian(4.0);
+    power += std::norm(z);
+    real_part += z.real() * z.real();
+  }
+  EXPECT_NEAR(power / n, 4.0, 0.1);
+  EXPECT_NEAR(real_part / n, 2.0, 0.1);
+}
+
+TEST(RngTest, ComplexGaussianZeroVarianceIsZero) {
+  Rng rng(14);
+  const cplx z = rng.complex_gaussian(0.0);
+  EXPECT_EQ(z, (cplx{0.0, 0.0}));
+  EXPECT_THROW(rng.complex_gaussian(-1.0), ContractError);
+}
+
+TEST(RngTest, UniformIndexBoundsAndRejection) {
+  Rng rng(15);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_index(7), 7u);
+  EXPECT_EQ(rng.uniform_index(1), 0u);
+  EXPECT_THROW(rng.uniform_index(0), ContractError);
+}
+
+TEST(RngTest, BitIsRoughlyFair) {
+  Rng rng(16);
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += rng.bit();
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.fork();
+  // The forked stream must differ from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(18);
+  Rng b(18);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+}  // namespace
+}  // namespace ctc::dsp

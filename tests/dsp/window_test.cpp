@@ -1,0 +1,67 @@
+#include "dsp/window.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/require.h"
+
+namespace ctc::dsp {
+namespace {
+
+class WindowKindTest : public ::testing::TestWithParam<WindowKind> {};
+
+TEST_P(WindowKindTest, SymmetricAndBounded) {
+  const rvec w = make_window(GetParam(), 33);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    EXPECT_GE(w[i], -1e-12);
+    EXPECT_LE(w[i], 1.0 + 1e-12);
+  }
+}
+
+TEST_P(WindowKindTest, PeaksAtCenter) {
+  const rvec w = make_window(GetParam(), 33);
+  const double center = w[16];
+  for (double v : w) EXPECT_LE(v, center + 1e-12);
+}
+
+TEST_P(WindowKindTest, SingleSampleIsOne) {
+  const rvec w = make_window(GetParam(), 1);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WindowKindTest,
+                         ::testing::Values(WindowKind::rectangular,
+                                           WindowKind::hann, WindowKind::hamming,
+                                           WindowKind::blackman));
+
+TEST(WindowTest, RectangularIsAllOnes) {
+  const rvec w = make_window(WindowKind::rectangular, 8);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(WindowTest, HannEndpointsAreZero) {
+  const rvec w = make_window(WindowKind::hann, 17);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[8], 1.0, 1e-12);
+}
+
+TEST(WindowTest, HammingEndpointsKnownValue) {
+  const rvec w = make_window(WindowKind::hamming, 21);
+  EXPECT_NEAR(w.front(), 0.08, 1e-12);
+  EXPECT_NEAR(w[10], 1.0, 1e-12);
+}
+
+TEST(WindowTest, BlackmanEndpointsNearZero) {
+  const rvec w = make_window(WindowKind::blackman, 21);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w[10], 1.0, 1e-12);
+}
+
+TEST(WindowTest, RejectsZeroLength) {
+  EXPECT_THROW(make_window(WindowKind::hann, 0), ContractError);
+}
+
+}  // namespace
+}  // namespace ctc::dsp

@@ -1,0 +1,104 @@
+#include "wifi/interleaver.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/require.h"
+#include "dsp/rng.h"
+
+namespace ctc::wifi {
+namespace {
+
+struct InterleaverParams {
+  std::size_t cbps;
+  std::size_t bpsc;
+};
+
+class InterleaverTest : public ::testing::TestWithParam<InterleaverParams> {};
+
+TEST_P(InterleaverTest, DeinterleaveInvertsInterleave) {
+  const auto [cbps, bpsc] = GetParam();
+  dsp::Rng rng(90 + cbps);
+  bitvec bits(cbps);
+  for (auto& b : bits) b = rng.bit();
+  const bitvec scrambled = interleave(bits, cbps, bpsc);
+  EXPECT_EQ(deinterleave(scrambled, cbps, bpsc), bits);
+}
+
+TEST_P(InterleaverTest, IsAPermutation) {
+  const auto [cbps, bpsc] = GetParam();
+  // Interleave a one-hot vector for every position: output must be one-hot,
+  // and every output position hit exactly once.
+  std::vector<bool> hit(cbps, false);
+  for (std::size_t k = 0; k < cbps; ++k) {
+    bitvec bits(cbps, 0);
+    bits[k] = 1;
+    const bitvec out = interleave(bits, cbps, bpsc);
+    std::size_t ones = 0;
+    std::size_t position = 0;
+    for (std::size_t j = 0; j < cbps; ++j) {
+      if (out[j]) {
+        ++ones;
+        position = j;
+      }
+    }
+    EXPECT_EQ(ones, 1u);
+    EXPECT_FALSE(hit[position]);
+    hit[position] = true;
+  }
+}
+
+TEST_P(InterleaverTest, AdjacentCodedBitsLandFarApart) {
+  // The point of the interleaver: adjacent coded bits go to nonadjacent
+  // subcarriers (separation >= cbps/16 positions).
+  const auto [cbps, bpsc] = GetParam();
+  auto position_of = [&](std::size_t k) {
+    bitvec bits(cbps, 0);
+    bits[k] = 1;
+    const bitvec out = interleave(bits, cbps, bpsc);
+    for (std::size_t j = 0; j < cbps; ++j) {
+      if (out[j]) return j;
+    }
+    return cbps;
+  };
+  const std::size_t subcarrier_span = bpsc;  // bits within one subcarrier
+  for (std::size_t k = 0; k + 1 < 32; ++k) {
+    const auto a = position_of(k) / subcarrier_span;
+    const auto b = position_of(k + 1) / subcarrier_span;
+    const std::size_t distance = a > b ? a - b : b - a;
+    EXPECT_GE(distance, 2u) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, InterleaverTest,
+    ::testing::Values(InterleaverParams{48, 1},    // BPSK
+                      InterleaverParams{96, 2},    // QPSK
+                      InterleaverParams{192, 4},   // 16-QAM
+                      InterleaverParams{288, 6})); // 64-QAM
+
+TEST(InterleaverErrorTest, RejectsSizeMismatch) {
+  bitvec bits(96, 0);
+  EXPECT_THROW(interleave(bits, 48, 1), ContractError);
+  EXPECT_THROW(interleave(bits, 96, 3), ContractError);
+  EXPECT_THROW(deinterleave(bits, 90, 2), ContractError);
+}
+
+TEST(InterleaverKnownValueTest, FirstBitGoesToPositionZero) {
+  // k = 0: i = 0, j = 0 for every mode.
+  bitvec bits(288, 0);
+  bits[0] = 1;
+  const bitvec out = interleave(bits, 288, 6);
+  EXPECT_EQ(out[0], 1);
+}
+
+TEST(InterleaverKnownValueTest, SecondBitPosition64Qam) {
+  // 802.11 64-QAM: k=1 -> i = (288/16)*1 = 18; s = 3;
+  // j = 3*6 + (18 + 288 - floor(16*18/288)) % 3 = 18 + (305 % 3) = 18 + 2 = 20.
+  bitvec bits(288, 0);
+  bits[1] = 1;
+  const bitvec out = interleave(bits, 288, 6);
+  EXPECT_EQ(out[20], 1);
+}
+
+}  // namespace
+}  // namespace ctc::wifi

@@ -1,0 +1,106 @@
+#include "wifi/qam.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.h"
+#include "dsp/stats.h"
+
+namespace ctc::wifi {
+namespace {
+
+bitvec random_bits(std::size_t n, std::uint64_t seed) {
+  dsp::Rng rng(seed);
+  bitvec bits(n);
+  for (auto& b : bits) b = rng.bit();
+  return bits;
+}
+
+class QamModulationTest : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(QamModulationTest, MapDemapRoundTrip) {
+  const Modulation mod = GetParam();
+  const std::size_t bpsc = bits_per_subcarrier(mod);
+  const bitvec bits = random_bits(bpsc * 200, 100 + bpsc);
+  EXPECT_EQ(qam_demap(qam_map(bits, mod), mod), bits);
+}
+
+TEST_P(QamModulationTest, UnitAveragePowerOverAllSymbols) {
+  const Modulation mod = GetParam();
+  const std::size_t bpsc = bits_per_subcarrier(mod);
+  // Enumerate all bit groups exactly once.
+  bitvec bits;
+  for (unsigned v = 0; v < (1u << bpsc); ++v) {
+    for (std::size_t b = bpsc; b-- > 0;) bits.push_back((v >> b) & 1);
+  }
+  const cvec points = qam_map(bits, mod);
+  EXPECT_NEAR(dsp::average_power(points), 1.0, 1e-12);
+}
+
+TEST_P(QamModulationTest, DemapToleratesSmallNoise) {
+  const Modulation mod = GetParam();
+  const std::size_t bpsc = bits_per_subcarrier(mod);
+  const bitvec bits = random_bits(bpsc * 100, 200 + bpsc);
+  cvec points = qam_map(bits, mod);
+  dsp::Rng rng(300 + bpsc);
+  // Perturb by much less than half the minimum distance.
+  const double wiggle = 0.2 * modulation_scale(mod);
+  for (auto& p : points) {
+    p += cplx{rng.uniform(-wiggle, wiggle), rng.uniform(-wiggle, wiggle)};
+  }
+  EXPECT_EQ(qam_demap(points, mod), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModulations, QamModulationTest,
+                         ::testing::Values(Modulation::bpsk, Modulation::qpsk,
+                                           Modulation::qam16, Modulation::qam64));
+
+TEST(QamKnownValueTest, StandardScales) {
+  EXPECT_DOUBLE_EQ(modulation_scale(Modulation::bpsk), 1.0);
+  EXPECT_NEAR(modulation_scale(Modulation::qpsk), 1.0 / std::sqrt(2.0), 1e-15);
+  EXPECT_NEAR(modulation_scale(Modulation::qam16), 1.0 / std::sqrt(10.0), 1e-15);
+  EXPECT_NEAR(modulation_scale(Modulation::qam64), 1.0 / std::sqrt(42.0), 1e-15);
+}
+
+TEST(QamKnownValueTest, GrayTable64Qam) {
+  // 802.11 Table 17-16: b0b1b2 -> I level.
+  EXPECT_EQ(gray_bits_to_level(0b000, 3), -7);
+  EXPECT_EQ(gray_bits_to_level(0b001, 3), -5);
+  EXPECT_EQ(gray_bits_to_level(0b011, 3), -3);
+  EXPECT_EQ(gray_bits_to_level(0b010, 3), -1);
+  EXPECT_EQ(gray_bits_to_level(0b110, 3), 1);
+  EXPECT_EQ(gray_bits_to_level(0b111, 3), 3);
+  EXPECT_EQ(gray_bits_to_level(0b101, 3), 5);
+  EXPECT_EQ(gray_bits_to_level(0b100, 3), 7);
+}
+
+TEST(QamKnownValueTest, GrayInverseMatches) {
+  for (std::size_t bits : {1u, 2u, 3u}) {
+    for (unsigned v = 0; v < (1u << bits); ++v) {
+      const int level = gray_bits_to_level(v, bits);
+      EXPECT_EQ(gray_level_to_bits(level, bits), v);
+    }
+  }
+}
+
+TEST(QamKnownValueTest, GrayNeighborsDifferInOneBit) {
+  // Gray property: adjacent amplitude levels differ in exactly one bit.
+  for (int level = -7; level < 7; level += 2) {
+    const unsigned a = gray_level_to_bits(level, 3);
+    const unsigned b = gray_level_to_bits(level + 2, 3);
+    EXPECT_EQ(__builtin_popcount(a ^ b), 1) << "level=" << level;
+  }
+}
+
+TEST(QamKnownValueTest, Bpsk64QamSpecificPoints) {
+  const cvec bpsk = qam_map(bitvec{0, 1}, Modulation::bpsk);
+  EXPECT_NEAR(std::abs(bpsk[0] - cplx(-1.0, 0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(bpsk[1] - cplx(1.0, 0.0)), 0.0, 1e-12);
+
+  // 64-QAM b0..b5 = 100 000 -> I = +7, Q = -7.
+  const cvec qam = qam_map(bitvec{1, 0, 0, 0, 0, 0}, Modulation::qam64);
+  const double s = modulation_scale(Modulation::qam64);
+  EXPECT_NEAR(std::abs(qam[0] - cplx(7.0 * s, -7.0 * s)), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ctc::wifi

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "dsp/require.h"
+#include "dsp/rng.h"
+#include "wifi/convcode.h"
+#include "wifi/qam.h"
+
+namespace ctc::wifi {
+namespace {
+
+bitvec random_bits(std::size_t n, std::uint64_t seed) {
+  dsp::Rng rng(seed);
+  bitvec bits(n);
+  for (auto& b : bits) b = rng.bit();
+  return bits;
+}
+
+rvec hard_to_llr(std::span<const std::uint8_t> coded) {
+  rvec llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -1.0 : 1.0;  // llr > 0 <=> bit 0
+  }
+  return llrs;
+}
+
+class SoftViterbiRateTest : public ::testing::TestWithParam<CodeRate> {};
+
+TEST_P(SoftViterbiRateTest, ReducesToHardDecodingOnUnitLlrs) {
+  const bitvec data = random_bits(240, 1300);
+  const bitvec coded = convolutional_encode(data, GetParam());
+  EXPECT_EQ(viterbi_decode_soft(hard_to_llr(coded), GetParam()), data);
+}
+
+TEST_P(SoftViterbiRateTest, ConfidenceWeightingBeatsHardDecisions) {
+  // Construct a case where two low-confidence bits are wrong but flagged as
+  // unreliable: soft decoding recovers, hard decoding may not be forced to
+  // — so we check soft gets it right even with many weak erroneous bits.
+  const bitvec data = random_bits(300, 1301);
+  const bitvec coded = convolutional_encode(data, GetParam());
+  rvec llrs = hard_to_llr(coded);
+  dsp::Rng rng(1302);
+  // Flip 10% of positions but mark them weak (|llr| = 0.05).
+  for (std::size_t i = 0; i < llrs.size(); i += 10) {
+    llrs[i] = -0.05 * (coded[i] ? -1.0 : 1.0);
+  }
+  EXPECT_EQ(viterbi_decode_soft(llrs, GetParam()), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SoftViterbiRateTest,
+                         ::testing::Values(CodeRate::half, CodeRate::two_thirds,
+                                           CodeRate::three_quarters));
+
+TEST(SoftViterbiTest, SoftOutperformsHardUnderGaussianNoise) {
+  // BPSK over AWGN at an SNR where hard decisions start failing: count
+  // decoding errors across trials; soft must do no worse, usually better.
+  dsp::Rng rng(1303);
+  const CodeRate rate = CodeRate::half;
+  std::size_t hard_errors = 0;
+  std::size_t soft_errors = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const bitvec data = random_bits(120, 1400 + trial);
+    const bitvec coded = convolutional_encode(data, rate);
+    // BPSK symbols +1 (bit 0) / -1 (bit 1) with noise sigma = 0.9.
+    bitvec hard(coded.size());
+    rvec llrs(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) {
+      const double symbol = (coded[i] ? -1.0 : 1.0) + 0.9 * rng.gaussian();
+      hard[i] = symbol < 0.0 ? 1 : 0;
+      llrs[i] = 2.0 * symbol / (0.9 * 0.9);
+    }
+    const bitvec hard_decoded = viterbi_decode(hard, rate);
+    const bitvec soft_decoded = viterbi_decode_soft(llrs, rate);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      hard_errors += hard_decoded[i] != data[i];
+      soft_errors += soft_decoded[i] != data[i];
+    }
+  }
+  EXPECT_LT(soft_errors, hard_errors);
+}
+
+TEST(SoftDemapTest, CleanPointsGiveConfidentCorrectSigns) {
+  for (Modulation mod : {Modulation::bpsk, Modulation::qpsk, Modulation::qam16,
+                         Modulation::qam64}) {
+    const std::size_t bpsc = bits_per_subcarrier(mod);
+    const bitvec bits = random_bits(bpsc * 40, 1500 + bpsc);
+    const cvec points = qam_map(bits, mod);
+    const rvec llrs = qam_demap_soft(points, mod, 0.1);
+    ASSERT_EQ(llrs.size(), bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) {
+        EXPECT_LT(llrs[i], 0.0) << "i=" << i;
+      } else {
+        EXPECT_GT(llrs[i], 0.0) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SoftDemapTest, LlrMagnitudeTracksDistanceFromBoundary) {
+  // A point near the BPSK decision boundary is less confident than one far
+  // from it (802.11 BPSK: bit 0 -> -1, bit 1 -> +1).
+  const cvec points = {{-0.05, 0.0}, {-1.0, 0.0}};
+  const rvec llrs = qam_demap_soft(points, Modulation::bpsk, 0.5);
+  EXPECT_GT(llrs[1], llrs[0]);
+  EXPECT_GT(llrs[0], 0.0);
+}
+
+TEST(SoftDemapTest, NoiseVarianceScalesConfidence) {
+  const cvec points = {{0.7, 0.0}};
+  const rvec confident = qam_demap_soft(points, Modulation::bpsk, 0.1);
+  const rvec hedged = qam_demap_soft(points, Modulation::bpsk, 1.0);
+  EXPECT_NEAR(confident[0] / hedged[0], 10.0, 1e-9);
+  EXPECT_THROW(qam_demap_soft(points, Modulation::bpsk, 0.0), ContractError);
+}
+
+TEST(SoftDemapEndToEndTest, SoftChainDecodesNoisy64Qam) {
+  dsp::Rng rng(1600);
+  const CodeRate rate = CodeRate::three_quarters;
+  const bitvec data = random_bits(216, 1601);
+  const bitvec coded = convolutional_encode(data, rate);
+  // Pad to whole 64-QAM symbols.
+  bitvec padded = coded;
+  while (padded.size() % 6 != 0) padded.push_back(0);
+  cvec points = qam_map(padded, Modulation::qam64);
+  const double noise_variance = 0.01;
+  for (auto& p : points) p += rng.complex_gaussian(noise_variance);
+  rvec llrs = qam_demap_soft(points, Modulation::qam64, noise_variance);
+  llrs.resize(coded.size());
+  EXPECT_EQ(viterbi_decode_soft(llrs, rate), data);
+}
+
+}  // namespace
+}  // namespace ctc::wifi
