@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_coexistence.cpp" "bench_artifacts/CMakeFiles/ablation_coexistence.dir/ablation_coexistence.cpp.o" "gcc" "bench_artifacts/CMakeFiles/ablation_coexistence.dir/ablation_coexistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ctc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ctc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/ctc_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/zigbee/CMakeFiles/ctc_zigbee.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/ctc_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/ctc_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ctc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_coexistence"
+  "../bench/ablation_coexistence.pdb"
+  "CMakeFiles/ablation_coexistence.dir/ablation_coexistence.cpp.o"
+  "CMakeFiles/ablation_coexistence.dir/ablation_coexistence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

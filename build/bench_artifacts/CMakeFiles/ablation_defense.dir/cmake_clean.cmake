@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_defense"
+  "../bench/ablation_defense.pdb"
+  "CMakeFiles/ablation_defense.dir/ablation_defense.cpp.o"
+  "CMakeFiles/ablation_defense.dir/ablation_defense.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

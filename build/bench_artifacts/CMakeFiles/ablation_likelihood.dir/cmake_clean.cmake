@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_likelihood"
+  "../bench/ablation_likelihood.pdb"
+  "CMakeFiles/ablation_likelihood.dir/ablation_likelihood.cpp.o"
+  "CMakeFiles/ablation_likelihood.dir/ablation_likelihood.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_likelihood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/amc_classifier"
+  "../bench/amc_classifier.pdb"
+  "CMakeFiles/amc_classifier.dir/amc_classifier.cpp.o"
+  "CMakeFiles/amc_classifier.dir/amc_classifier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amc_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_fig11_cumulants"
+  "../bench/fig10_fig11_cumulants.pdb"
+  "CMakeFiles/fig10_fig11_cumulants.dir/fig10_fig11_cumulants.cpp.o"
+  "CMakeFiles/fig10_fig11_cumulants.dir/fig10_fig11_cumulants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fig11_cumulants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_threshold"
+  "../bench/fig12_threshold.pdb"
+  "CMakeFiles/fig12_threshold.dir/fig12_threshold.cpp.o"
+  "CMakeFiles/fig12_threshold.dir/fig12_threshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_distance_error"
+  "../bench/fig14_distance_error.pdb"
+  "CMakeFiles/fig14_distance_error.dir/fig14_distance_error.cpp.o"
+  "CMakeFiles/fig14_distance_error.dir/fig14_distance_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_distance_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

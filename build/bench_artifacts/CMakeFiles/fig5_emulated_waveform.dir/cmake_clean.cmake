@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_emulated_waveform"
+  "../bench/fig5_emulated_waveform.pdb"
+  "CMakeFiles/fig5_emulated_waveform.dir/fig5_emulated_waveform.cpp.o"
+  "CMakeFiles/fig5_emulated_waveform.dir/fig5_emulated_waveform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_emulated_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_hamming"
+  "../bench/fig7_hamming.pdb"
+  "CMakeFiles/fig7_hamming.dir/fig7_hamming.cpp.o"
+  "CMakeFiles/fig7_hamming.dir/fig7_hamming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

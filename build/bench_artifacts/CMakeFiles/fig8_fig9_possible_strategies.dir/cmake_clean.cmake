@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_fig9_possible_strategies"
+  "../bench/fig8_fig9_possible_strategies.pdb"
+  "CMakeFiles/fig8_fig9_possible_strategies.dir/fig8_fig9_possible_strategies.cpp.o"
+  "CMakeFiles/fig8_fig9_possible_strategies.dir/fig8_fig9_possible_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fig9_possible_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_complexity"
+  "../bench/perf_complexity.pdb"
+  "CMakeFiles/perf_complexity.dir/perf_complexity.cpp.o"
+  "CMakeFiles/perf_complexity.dir/perf_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

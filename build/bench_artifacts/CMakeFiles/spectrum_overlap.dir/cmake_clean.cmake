@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/spectrum_overlap"
+  "../bench/spectrum_overlap.pdb"
+  "CMakeFiles/spectrum_overlap.dir/spectrum_overlap.cpp.o"
+  "CMakeFiles/spectrum_overlap.dir/spectrum_overlap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_freq_points"
+  "../bench/table1_freq_points.pdb"
+  "CMakeFiles/table1_freq_points.dir/table1_freq_points.cpp.o"
+  "CMakeFiles/table1_freq_points.dir/table1_freq_points.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_freq_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_attack_awgn"
+  "../bench/table2_attack_awgn.pdb"
+  "CMakeFiles/table2_attack_awgn.dir/table2_attack_awgn.cpp.o"
+  "CMakeFiles/table2_attack_awgn.dir/table2_attack_awgn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_attack_awgn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_de2"
+  "../bench/table4_de2.pdb"
+  "CMakeFiles/table4_de2.dir/table4_de2.cpp.o"
+  "CMakeFiles/table4_de2.dir/table4_de2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_de2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

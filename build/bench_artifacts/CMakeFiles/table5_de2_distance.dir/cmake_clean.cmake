@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_de2_distance"
+  "../bench/table5_de2_distance.pdb"
+  "CMakeFiles/table5_de2_distance.dir/table5_de2_distance.cpp.o"
+  "CMakeFiles/table5_de2_distance.dir/table5_de2_distance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_de2_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

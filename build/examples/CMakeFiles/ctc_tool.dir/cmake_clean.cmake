@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctc_tool.dir/ctc_tool.cpp.o"
+  "CMakeFiles/ctc_tool.dir/ctc_tool.cpp.o.d"
+  "ctc_tool"
+  "ctc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

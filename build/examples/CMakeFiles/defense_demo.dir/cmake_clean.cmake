@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_demo.dir/defense_demo.cpp.o"
+  "CMakeFiles/defense_demo.dir/defense_demo.cpp.o.d"
+  "defense_demo"
+  "defense_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zigbee_network.dir/zigbee_network.cpp.o"
+  "CMakeFiles/zigbee_network.dir/zigbee_network.cpp.o.d"
+  "zigbee_network"
+  "zigbee_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zigbee_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

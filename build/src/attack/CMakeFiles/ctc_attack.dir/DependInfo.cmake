@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/bit_extract.cpp" "src/attack/CMakeFiles/ctc_attack.dir/bit_extract.cpp.o" "gcc" "src/attack/CMakeFiles/ctc_attack.dir/bit_extract.cpp.o.d"
+  "/root/repo/src/attack/carrier_allocation.cpp" "src/attack/CMakeFiles/ctc_attack.dir/carrier_allocation.cpp.o" "gcc" "src/attack/CMakeFiles/ctc_attack.dir/carrier_allocation.cpp.o.d"
+  "/root/repo/src/attack/eavesdropper.cpp" "src/attack/CMakeFiles/ctc_attack.dir/eavesdropper.cpp.o" "gcc" "src/attack/CMakeFiles/ctc_attack.dir/eavesdropper.cpp.o.d"
+  "/root/repo/src/attack/emulator.cpp" "src/attack/CMakeFiles/ctc_attack.dir/emulator.cpp.o" "gcc" "src/attack/CMakeFiles/ctc_attack.dir/emulator.cpp.o.d"
+  "/root/repo/src/attack/qam_quantize.cpp" "src/attack/CMakeFiles/ctc_attack.dir/qam_quantize.cpp.o" "gcc" "src/attack/CMakeFiles/ctc_attack.dir/qam_quantize.cpp.o.d"
+  "/root/repo/src/attack/subcarrier_select.cpp" "src/attack/CMakeFiles/ctc_attack.dir/subcarrier_select.cpp.o" "gcc" "src/attack/CMakeFiles/ctc_attack.dir/subcarrier_select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ctc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/ctc_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/zigbee/CMakeFiles/ctc_zigbee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctc_attack.dir/bit_extract.cpp.o"
+  "CMakeFiles/ctc_attack.dir/bit_extract.cpp.o.d"
+  "CMakeFiles/ctc_attack.dir/carrier_allocation.cpp.o"
+  "CMakeFiles/ctc_attack.dir/carrier_allocation.cpp.o.d"
+  "CMakeFiles/ctc_attack.dir/eavesdropper.cpp.o"
+  "CMakeFiles/ctc_attack.dir/eavesdropper.cpp.o.d"
+  "CMakeFiles/ctc_attack.dir/emulator.cpp.o"
+  "CMakeFiles/ctc_attack.dir/emulator.cpp.o.d"
+  "CMakeFiles/ctc_attack.dir/qam_quantize.cpp.o"
+  "CMakeFiles/ctc_attack.dir/qam_quantize.cpp.o.d"
+  "CMakeFiles/ctc_attack.dir/subcarrier_select.cpp.o"
+  "CMakeFiles/ctc_attack.dir/subcarrier_select.cpp.o.d"
+  "libctc_attack.a"
+  "libctc_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctc_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

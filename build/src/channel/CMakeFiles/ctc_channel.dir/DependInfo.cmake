@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/awgn.cpp" "src/channel/CMakeFiles/ctc_channel.dir/awgn.cpp.o" "gcc" "src/channel/CMakeFiles/ctc_channel.dir/awgn.cpp.o.d"
+  "/root/repo/src/channel/environment.cpp" "src/channel/CMakeFiles/ctc_channel.dir/environment.cpp.o" "gcc" "src/channel/CMakeFiles/ctc_channel.dir/environment.cpp.o.d"
+  "/root/repo/src/channel/fading.cpp" "src/channel/CMakeFiles/ctc_channel.dir/fading.cpp.o" "gcc" "src/channel/CMakeFiles/ctc_channel.dir/fading.cpp.o.d"
+  "/root/repo/src/channel/impairments.cpp" "src/channel/CMakeFiles/ctc_channel.dir/impairments.cpp.o" "gcc" "src/channel/CMakeFiles/ctc_channel.dir/impairments.cpp.o.d"
+  "/root/repo/src/channel/multipath.cpp" "src/channel/CMakeFiles/ctc_channel.dir/multipath.cpp.o" "gcc" "src/channel/CMakeFiles/ctc_channel.dir/multipath.cpp.o.d"
+  "/root/repo/src/channel/pathloss.cpp" "src/channel/CMakeFiles/ctc_channel.dir/pathloss.cpp.o" "gcc" "src/channel/CMakeFiles/ctc_channel.dir/pathloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ctc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

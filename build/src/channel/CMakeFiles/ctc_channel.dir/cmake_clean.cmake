@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctc_channel.dir/awgn.cpp.o"
+  "CMakeFiles/ctc_channel.dir/awgn.cpp.o.d"
+  "CMakeFiles/ctc_channel.dir/environment.cpp.o"
+  "CMakeFiles/ctc_channel.dir/environment.cpp.o.d"
+  "CMakeFiles/ctc_channel.dir/fading.cpp.o"
+  "CMakeFiles/ctc_channel.dir/fading.cpp.o.d"
+  "CMakeFiles/ctc_channel.dir/impairments.cpp.o"
+  "CMakeFiles/ctc_channel.dir/impairments.cpp.o.d"
+  "CMakeFiles/ctc_channel.dir/multipath.cpp.o"
+  "CMakeFiles/ctc_channel.dir/multipath.cpp.o.d"
+  "CMakeFiles/ctc_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/ctc_channel.dir/pathloss.cpp.o.d"
+  "libctc_channel.a"
+  "libctc_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctc_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/amc.cpp" "src/defense/CMakeFiles/ctc_defense.dir/amc.cpp.o" "gcc" "src/defense/CMakeFiles/ctc_defense.dir/amc.cpp.o.d"
+  "/root/repo/src/defense/constellation_builder.cpp" "src/defense/CMakeFiles/ctc_defense.dir/constellation_builder.cpp.o" "gcc" "src/defense/CMakeFiles/ctc_defense.dir/constellation_builder.cpp.o.d"
+  "/root/repo/src/defense/cumulants.cpp" "src/defense/CMakeFiles/ctc_defense.dir/cumulants.cpp.o" "gcc" "src/defense/CMakeFiles/ctc_defense.dir/cumulants.cpp.o.d"
+  "/root/repo/src/defense/detector.cpp" "src/defense/CMakeFiles/ctc_defense.dir/detector.cpp.o" "gcc" "src/defense/CMakeFiles/ctc_defense.dir/detector.cpp.o.d"
+  "/root/repo/src/defense/kmeans.cpp" "src/defense/CMakeFiles/ctc_defense.dir/kmeans.cpp.o" "gcc" "src/defense/CMakeFiles/ctc_defense.dir/kmeans.cpp.o.d"
+  "/root/repo/src/defense/likelihood.cpp" "src/defense/CMakeFiles/ctc_defense.dir/likelihood.cpp.o" "gcc" "src/defense/CMakeFiles/ctc_defense.dir/likelihood.cpp.o.d"
+  "/root/repo/src/defense/streaming.cpp" "src/defense/CMakeFiles/ctc_defense.dir/streaming.cpp.o" "gcc" "src/defense/CMakeFiles/ctc_defense.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ctc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

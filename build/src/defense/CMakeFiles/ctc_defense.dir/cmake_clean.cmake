@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctc_defense.dir/amc.cpp.o"
+  "CMakeFiles/ctc_defense.dir/amc.cpp.o.d"
+  "CMakeFiles/ctc_defense.dir/constellation_builder.cpp.o"
+  "CMakeFiles/ctc_defense.dir/constellation_builder.cpp.o.d"
+  "CMakeFiles/ctc_defense.dir/cumulants.cpp.o"
+  "CMakeFiles/ctc_defense.dir/cumulants.cpp.o.d"
+  "CMakeFiles/ctc_defense.dir/detector.cpp.o"
+  "CMakeFiles/ctc_defense.dir/detector.cpp.o.d"
+  "CMakeFiles/ctc_defense.dir/kmeans.cpp.o"
+  "CMakeFiles/ctc_defense.dir/kmeans.cpp.o.d"
+  "CMakeFiles/ctc_defense.dir/likelihood.cpp.o"
+  "CMakeFiles/ctc_defense.dir/likelihood.cpp.o.d"
+  "CMakeFiles/ctc_defense.dir/streaming.cpp.o"
+  "CMakeFiles/ctc_defense.dir/streaming.cpp.o.d"
+  "libctc_defense.a"
+  "libctc_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctc_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

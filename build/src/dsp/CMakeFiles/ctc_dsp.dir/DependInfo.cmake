@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/constellation.cpp" "src/dsp/CMakeFiles/ctc_dsp.dir/constellation.cpp.o" "gcc" "src/dsp/CMakeFiles/ctc_dsp.dir/constellation.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/ctc_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/ctc_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/ctc_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/ctc_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/iq_io.cpp" "src/dsp/CMakeFiles/ctc_dsp.dir/iq_io.cpp.o" "gcc" "src/dsp/CMakeFiles/ctc_dsp.dir/iq_io.cpp.o.d"
+  "/root/repo/src/dsp/psd.cpp" "src/dsp/CMakeFiles/ctc_dsp.dir/psd.cpp.o" "gcc" "src/dsp/CMakeFiles/ctc_dsp.dir/psd.cpp.o.d"
+  "/root/repo/src/dsp/pulse.cpp" "src/dsp/CMakeFiles/ctc_dsp.dir/pulse.cpp.o" "gcc" "src/dsp/CMakeFiles/ctc_dsp.dir/pulse.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/ctc_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/ctc_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/rng.cpp" "src/dsp/CMakeFiles/ctc_dsp.dir/rng.cpp.o" "gcc" "src/dsp/CMakeFiles/ctc_dsp.dir/rng.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/dsp/CMakeFiles/ctc_dsp.dir/stats.cpp.o" "gcc" "src/dsp/CMakeFiles/ctc_dsp.dir/stats.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/ctc_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/ctc_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctc_dsp.dir/constellation.cpp.o"
+  "CMakeFiles/ctc_dsp.dir/constellation.cpp.o.d"
+  "CMakeFiles/ctc_dsp.dir/fft.cpp.o"
+  "CMakeFiles/ctc_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/ctc_dsp.dir/fir.cpp.o"
+  "CMakeFiles/ctc_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/ctc_dsp.dir/iq_io.cpp.o"
+  "CMakeFiles/ctc_dsp.dir/iq_io.cpp.o.d"
+  "CMakeFiles/ctc_dsp.dir/psd.cpp.o"
+  "CMakeFiles/ctc_dsp.dir/psd.cpp.o.d"
+  "CMakeFiles/ctc_dsp.dir/pulse.cpp.o"
+  "CMakeFiles/ctc_dsp.dir/pulse.cpp.o.d"
+  "CMakeFiles/ctc_dsp.dir/resample.cpp.o"
+  "CMakeFiles/ctc_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/ctc_dsp.dir/rng.cpp.o"
+  "CMakeFiles/ctc_dsp.dir/rng.cpp.o.d"
+  "CMakeFiles/ctc_dsp.dir/stats.cpp.o"
+  "CMakeFiles/ctc_dsp.dir/stats.cpp.o.d"
+  "CMakeFiles/ctc_dsp.dir/window.cpp.o"
+  "CMakeFiles/ctc_dsp.dir/window.cpp.o.d"
+  "libctc_dsp.a"
+  "libctc_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctc_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

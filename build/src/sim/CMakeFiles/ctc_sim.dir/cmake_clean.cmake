@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctc_sim.dir/defense_run.cpp.o"
+  "CMakeFiles/ctc_sim.dir/defense_run.cpp.o.d"
+  "CMakeFiles/ctc_sim.dir/interference.cpp.o"
+  "CMakeFiles/ctc_sim.dir/interference.cpp.o.d"
+  "CMakeFiles/ctc_sim.dir/link.cpp.o"
+  "CMakeFiles/ctc_sim.dir/link.cpp.o.d"
+  "CMakeFiles/ctc_sim.dir/metrics.cpp.o"
+  "CMakeFiles/ctc_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/ctc_sim.dir/table.cpp.o"
+  "CMakeFiles/ctc_sim.dir/table.cpp.o.d"
+  "libctc_sim.a"
+  "libctc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

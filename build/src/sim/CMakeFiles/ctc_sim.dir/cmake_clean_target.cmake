@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctc_sim.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wifi/convcode.cpp" "src/wifi/CMakeFiles/ctc_wifi.dir/convcode.cpp.o" "gcc" "src/wifi/CMakeFiles/ctc_wifi.dir/convcode.cpp.o.d"
+  "/root/repo/src/wifi/interleaver.cpp" "src/wifi/CMakeFiles/ctc_wifi.dir/interleaver.cpp.o" "gcc" "src/wifi/CMakeFiles/ctc_wifi.dir/interleaver.cpp.o.d"
+  "/root/repo/src/wifi/ofdm.cpp" "src/wifi/CMakeFiles/ctc_wifi.dir/ofdm.cpp.o" "gcc" "src/wifi/CMakeFiles/ctc_wifi.dir/ofdm.cpp.o.d"
+  "/root/repo/src/wifi/qam.cpp" "src/wifi/CMakeFiles/ctc_wifi.dir/qam.cpp.o" "gcc" "src/wifi/CMakeFiles/ctc_wifi.dir/qam.cpp.o.d"
+  "/root/repo/src/wifi/receiver.cpp" "src/wifi/CMakeFiles/ctc_wifi.dir/receiver.cpp.o" "gcc" "src/wifi/CMakeFiles/ctc_wifi.dir/receiver.cpp.o.d"
+  "/root/repo/src/wifi/scrambler.cpp" "src/wifi/CMakeFiles/ctc_wifi.dir/scrambler.cpp.o" "gcc" "src/wifi/CMakeFiles/ctc_wifi.dir/scrambler.cpp.o.d"
+  "/root/repo/src/wifi/signal_field.cpp" "src/wifi/CMakeFiles/ctc_wifi.dir/signal_field.cpp.o" "gcc" "src/wifi/CMakeFiles/ctc_wifi.dir/signal_field.cpp.o.d"
+  "/root/repo/src/wifi/sync.cpp" "src/wifi/CMakeFiles/ctc_wifi.dir/sync.cpp.o" "gcc" "src/wifi/CMakeFiles/ctc_wifi.dir/sync.cpp.o.d"
+  "/root/repo/src/wifi/transmitter.cpp" "src/wifi/CMakeFiles/ctc_wifi.dir/transmitter.cpp.o" "gcc" "src/wifi/CMakeFiles/ctc_wifi.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ctc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctc_wifi.dir/convcode.cpp.o"
+  "CMakeFiles/ctc_wifi.dir/convcode.cpp.o.d"
+  "CMakeFiles/ctc_wifi.dir/interleaver.cpp.o"
+  "CMakeFiles/ctc_wifi.dir/interleaver.cpp.o.d"
+  "CMakeFiles/ctc_wifi.dir/ofdm.cpp.o"
+  "CMakeFiles/ctc_wifi.dir/ofdm.cpp.o.d"
+  "CMakeFiles/ctc_wifi.dir/qam.cpp.o"
+  "CMakeFiles/ctc_wifi.dir/qam.cpp.o.d"
+  "CMakeFiles/ctc_wifi.dir/receiver.cpp.o"
+  "CMakeFiles/ctc_wifi.dir/receiver.cpp.o.d"
+  "CMakeFiles/ctc_wifi.dir/scrambler.cpp.o"
+  "CMakeFiles/ctc_wifi.dir/scrambler.cpp.o.d"
+  "CMakeFiles/ctc_wifi.dir/signal_field.cpp.o"
+  "CMakeFiles/ctc_wifi.dir/signal_field.cpp.o.d"
+  "CMakeFiles/ctc_wifi.dir/sync.cpp.o"
+  "CMakeFiles/ctc_wifi.dir/sync.cpp.o.d"
+  "CMakeFiles/ctc_wifi.dir/transmitter.cpp.o"
+  "CMakeFiles/ctc_wifi.dir/transmitter.cpp.o.d"
+  "libctc_wifi.a"
+  "libctc_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctc_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zigbee/app.cpp" "src/zigbee/CMakeFiles/ctc_zigbee.dir/app.cpp.o" "gcc" "src/zigbee/CMakeFiles/ctc_zigbee.dir/app.cpp.o.d"
+  "/root/repo/src/zigbee/chip_sequences.cpp" "src/zigbee/CMakeFiles/ctc_zigbee.dir/chip_sequences.cpp.o" "gcc" "src/zigbee/CMakeFiles/ctc_zigbee.dir/chip_sequences.cpp.o.d"
+  "/root/repo/src/zigbee/csma.cpp" "src/zigbee/CMakeFiles/ctc_zigbee.dir/csma.cpp.o" "gcc" "src/zigbee/CMakeFiles/ctc_zigbee.dir/csma.cpp.o.d"
+  "/root/repo/src/zigbee/dsss.cpp" "src/zigbee/CMakeFiles/ctc_zigbee.dir/dsss.cpp.o" "gcc" "src/zigbee/CMakeFiles/ctc_zigbee.dir/dsss.cpp.o.d"
+  "/root/repo/src/zigbee/frame.cpp" "src/zigbee/CMakeFiles/ctc_zigbee.dir/frame.cpp.o" "gcc" "src/zigbee/CMakeFiles/ctc_zigbee.dir/frame.cpp.o.d"
+  "/root/repo/src/zigbee/mac.cpp" "src/zigbee/CMakeFiles/ctc_zigbee.dir/mac.cpp.o" "gcc" "src/zigbee/CMakeFiles/ctc_zigbee.dir/mac.cpp.o.d"
+  "/root/repo/src/zigbee/oqpsk.cpp" "src/zigbee/CMakeFiles/ctc_zigbee.dir/oqpsk.cpp.o" "gcc" "src/zigbee/CMakeFiles/ctc_zigbee.dir/oqpsk.cpp.o.d"
+  "/root/repo/src/zigbee/receiver.cpp" "src/zigbee/CMakeFiles/ctc_zigbee.dir/receiver.cpp.o" "gcc" "src/zigbee/CMakeFiles/ctc_zigbee.dir/receiver.cpp.o.d"
+  "/root/repo/src/zigbee/transmitter.cpp" "src/zigbee/CMakeFiles/ctc_zigbee.dir/transmitter.cpp.o" "gcc" "src/zigbee/CMakeFiles/ctc_zigbee.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/ctc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

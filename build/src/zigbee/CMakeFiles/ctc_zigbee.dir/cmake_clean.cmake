@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctc_zigbee.dir/app.cpp.o"
+  "CMakeFiles/ctc_zigbee.dir/app.cpp.o.d"
+  "CMakeFiles/ctc_zigbee.dir/chip_sequences.cpp.o"
+  "CMakeFiles/ctc_zigbee.dir/chip_sequences.cpp.o.d"
+  "CMakeFiles/ctc_zigbee.dir/csma.cpp.o"
+  "CMakeFiles/ctc_zigbee.dir/csma.cpp.o.d"
+  "CMakeFiles/ctc_zigbee.dir/dsss.cpp.o"
+  "CMakeFiles/ctc_zigbee.dir/dsss.cpp.o.d"
+  "CMakeFiles/ctc_zigbee.dir/frame.cpp.o"
+  "CMakeFiles/ctc_zigbee.dir/frame.cpp.o.d"
+  "CMakeFiles/ctc_zigbee.dir/mac.cpp.o"
+  "CMakeFiles/ctc_zigbee.dir/mac.cpp.o.d"
+  "CMakeFiles/ctc_zigbee.dir/oqpsk.cpp.o"
+  "CMakeFiles/ctc_zigbee.dir/oqpsk.cpp.o.d"
+  "CMakeFiles/ctc_zigbee.dir/receiver.cpp.o"
+  "CMakeFiles/ctc_zigbee.dir/receiver.cpp.o.d"
+  "CMakeFiles/ctc_zigbee.dir/transmitter.cpp.o"
+  "CMakeFiles/ctc_zigbee.dir/transmitter.cpp.o.d"
+  "libctc_zigbee.a"
+  "libctc_zigbee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctc_zigbee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack/attack_property_test.cpp" "tests/CMakeFiles/ctc_tests.dir/attack/attack_property_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/attack/attack_property_test.cpp.o.d"
+  "/root/repo/tests/attack/bit_extract_test.cpp" "tests/CMakeFiles/ctc_tests.dir/attack/bit_extract_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/attack/bit_extract_test.cpp.o.d"
+  "/root/repo/tests/attack/carrier_test.cpp" "tests/CMakeFiles/ctc_tests.dir/attack/carrier_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/attack/carrier_test.cpp.o.d"
+  "/root/repo/tests/attack/eavesdropper_test.cpp" "tests/CMakeFiles/ctc_tests.dir/attack/eavesdropper_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/attack/eavesdropper_test.cpp.o.d"
+  "/root/repo/tests/attack/emulator_test.cpp" "tests/CMakeFiles/ctc_tests.dir/attack/emulator_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/attack/emulator_test.cpp.o.d"
+  "/root/repo/tests/attack/quantize_test.cpp" "tests/CMakeFiles/ctc_tests.dir/attack/quantize_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/attack/quantize_test.cpp.o.d"
+  "/root/repo/tests/attack/subcarrier_test.cpp" "tests/CMakeFiles/ctc_tests.dir/attack/subcarrier_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/attack/subcarrier_test.cpp.o.d"
+  "/root/repo/tests/channel/channel_test.cpp" "tests/CMakeFiles/ctc_tests.dir/channel/channel_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/channel/channel_test.cpp.o.d"
+  "/root/repo/tests/channel/multipath_test.cpp" "tests/CMakeFiles/ctc_tests.dir/channel/multipath_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/channel/multipath_test.cpp.o.d"
+  "/root/repo/tests/defense/amc_test.cpp" "tests/CMakeFiles/ctc_tests.dir/defense/amc_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/defense/amc_test.cpp.o.d"
+  "/root/repo/tests/defense/builder_test.cpp" "tests/CMakeFiles/ctc_tests.dir/defense/builder_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/defense/builder_test.cpp.o.d"
+  "/root/repo/tests/defense/cumulants_test.cpp" "tests/CMakeFiles/ctc_tests.dir/defense/cumulants_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/defense/cumulants_test.cpp.o.d"
+  "/root/repo/tests/defense/defense_property_test.cpp" "tests/CMakeFiles/ctc_tests.dir/defense/defense_property_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/defense/defense_property_test.cpp.o.d"
+  "/root/repo/tests/defense/detector_test.cpp" "tests/CMakeFiles/ctc_tests.dir/defense/detector_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/defense/detector_test.cpp.o.d"
+  "/root/repo/tests/defense/kmeans_test.cpp" "tests/CMakeFiles/ctc_tests.dir/defense/kmeans_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/defense/kmeans_test.cpp.o.d"
+  "/root/repo/tests/defense/likelihood_test.cpp" "tests/CMakeFiles/ctc_tests.dir/defense/likelihood_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/defense/likelihood_test.cpp.o.d"
+  "/root/repo/tests/defense/streaming_test.cpp" "tests/CMakeFiles/ctc_tests.dir/defense/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/defense/streaming_test.cpp.o.d"
+  "/root/repo/tests/dsp/constellation_test.cpp" "tests/CMakeFiles/ctc_tests.dir/dsp/constellation_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/dsp/constellation_test.cpp.o.d"
+  "/root/repo/tests/dsp/fft_test.cpp" "tests/CMakeFiles/ctc_tests.dir/dsp/fft_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/dsp/fft_test.cpp.o.d"
+  "/root/repo/tests/dsp/fir_test.cpp" "tests/CMakeFiles/ctc_tests.dir/dsp/fir_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/dsp/fir_test.cpp.o.d"
+  "/root/repo/tests/dsp/iq_io_test.cpp" "tests/CMakeFiles/ctc_tests.dir/dsp/iq_io_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/dsp/iq_io_test.cpp.o.d"
+  "/root/repo/tests/dsp/psd_test.cpp" "tests/CMakeFiles/ctc_tests.dir/dsp/psd_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/dsp/psd_test.cpp.o.d"
+  "/root/repo/tests/dsp/pulse_test.cpp" "tests/CMakeFiles/ctc_tests.dir/dsp/pulse_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/dsp/pulse_test.cpp.o.d"
+  "/root/repo/tests/dsp/resample_test.cpp" "tests/CMakeFiles/ctc_tests.dir/dsp/resample_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/dsp/resample_test.cpp.o.d"
+  "/root/repo/tests/dsp/rng_test.cpp" "tests/CMakeFiles/ctc_tests.dir/dsp/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/dsp/rng_test.cpp.o.d"
+  "/root/repo/tests/dsp/stats_test.cpp" "tests/CMakeFiles/ctc_tests.dir/dsp/stats_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/dsp/stats_test.cpp.o.d"
+  "/root/repo/tests/dsp/window_test.cpp" "tests/CMakeFiles/ctc_tests.dir/dsp/window_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/dsp/window_test.cpp.o.d"
+  "/root/repo/tests/integration/attack_defense_test.cpp" "tests/CMakeFiles/ctc_tests.dir/integration/attack_defense_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/integration/attack_defense_test.cpp.o.d"
+  "/root/repo/tests/integration/coexistence_test.cpp" "tests/CMakeFiles/ctc_tests.dir/integration/coexistence_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/integration/coexistence_test.cpp.o.d"
+  "/root/repo/tests/integration/failure_injection_test.cpp" "tests/CMakeFiles/ctc_tests.dir/integration/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/integration/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/sim_test.cpp" "tests/CMakeFiles/ctc_tests.dir/integration/sim_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/integration/sim_test.cpp.o.d"
+  "/root/repo/tests/wifi/convcode_test.cpp" "tests/CMakeFiles/ctc_tests.dir/wifi/convcode_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/wifi/convcode_test.cpp.o.d"
+  "/root/repo/tests/wifi/interleaver_test.cpp" "tests/CMakeFiles/ctc_tests.dir/wifi/interleaver_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/wifi/interleaver_test.cpp.o.d"
+  "/root/repo/tests/wifi/ofdm_test.cpp" "tests/CMakeFiles/ctc_tests.dir/wifi/ofdm_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/wifi/ofdm_test.cpp.o.d"
+  "/root/repo/tests/wifi/qam_test.cpp" "tests/CMakeFiles/ctc_tests.dir/wifi/qam_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/wifi/qam_test.cpp.o.d"
+  "/root/repo/tests/wifi/scrambler_test.cpp" "tests/CMakeFiles/ctc_tests.dir/wifi/scrambler_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/wifi/scrambler_test.cpp.o.d"
+  "/root/repo/tests/wifi/signal_sync_test.cpp" "tests/CMakeFiles/ctc_tests.dir/wifi/signal_sync_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/wifi/signal_sync_test.cpp.o.d"
+  "/root/repo/tests/wifi/soft_decode_test.cpp" "tests/CMakeFiles/ctc_tests.dir/wifi/soft_decode_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/wifi/soft_decode_test.cpp.o.d"
+  "/root/repo/tests/wifi/wifi_link_test.cpp" "tests/CMakeFiles/ctc_tests.dir/wifi/wifi_link_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/wifi/wifi_link_test.cpp.o.d"
+  "/root/repo/tests/zigbee/chip_sequences_test.cpp" "tests/CMakeFiles/ctc_tests.dir/zigbee/chip_sequences_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/zigbee/chip_sequences_test.cpp.o.d"
+  "/root/repo/tests/zigbee/csma_test.cpp" "tests/CMakeFiles/ctc_tests.dir/zigbee/csma_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/zigbee/csma_test.cpp.o.d"
+  "/root/repo/tests/zigbee/dsss_test.cpp" "tests/CMakeFiles/ctc_tests.dir/zigbee/dsss_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/zigbee/dsss_test.cpp.o.d"
+  "/root/repo/tests/zigbee/frame_test.cpp" "tests/CMakeFiles/ctc_tests.dir/zigbee/frame_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/zigbee/frame_test.cpp.o.d"
+  "/root/repo/tests/zigbee/mac_test.cpp" "tests/CMakeFiles/ctc_tests.dir/zigbee/mac_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/zigbee/mac_test.cpp.o.d"
+  "/root/repo/tests/zigbee/oqpsk_test.cpp" "tests/CMakeFiles/ctc_tests.dir/zigbee/oqpsk_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/zigbee/oqpsk_test.cpp.o.d"
+  "/root/repo/tests/zigbee/phy_property_test.cpp" "tests/CMakeFiles/ctc_tests.dir/zigbee/phy_property_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/zigbee/phy_property_test.cpp.o.d"
+  "/root/repo/tests/zigbee/receiver_test.cpp" "tests/CMakeFiles/ctc_tests.dir/zigbee/receiver_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/zigbee/receiver_test.cpp.o.d"
+  "/root/repo/tests/zigbee/timing_recovery_test.cpp" "tests/CMakeFiles/ctc_tests.dir/zigbee/timing_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/ctc_tests.dir/zigbee/timing_recovery_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ctc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ctc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/ctc_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/zigbee/CMakeFiles/ctc_zigbee.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/ctc_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/ctc_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ctc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
