@@ -25,7 +25,8 @@ struct AttackOutcome {
 };
 
 AttackOutcome evaluate(const attack::EmulatorConfig& config,
-                       std::span<const zigbee::MacFrame> frames, dsp::Rng& rng) {
+                       std::span<const zigbee::MacFrame> frames,
+                       std::size_t trial_count, sim::TrialEngine& engine) {
   AttackOutcome outcome;
   zigbee::Transmitter tx;
   const cvec observed = tx.transmit_frame(frames[0]);
@@ -36,7 +37,8 @@ AttackOutcome evaluate(const attack::EmulatorConfig& config,
   link_config.kind = sim::LinkKind::emulated;
   link_config.environment = channel::Environment::awgn(11.0);
   link_config.emulator = config;
-  const auto stats = sim::run_frames(sim::Link(link_config), frames, 150, rng);
+  const auto stats =
+      sim::run_frames(sim::Link(link_config), frames, trial_count, engine);
   outcome.success_11db = stats.success_rate();
   double weighted = 0.0;
   std::size_t count = 0;
@@ -50,21 +52,29 @@ AttackOutcome evaluate(const attack::EmulatorConfig& config,
 
 }  // namespace
 
-int main() {
-  dsp::Rng rng = bench::make_rng("Ablation: attack design choices");
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  sim::TrialEngine engine =
+      bench::make_engine(options, "Ablation: attack design choices");
   const auto frames = zigbee::make_text_workload(20);
+  const std::size_t trial_count = options.trials_or(150);
+
+  bench::JsonReport report(options, "ablation_attack");
+  report.set("trials", trial_count);
+  std::vector<double> bins_success, alpha_success;
 
   bench::section("(a) number of kept subcarriers (paper: 7)");
   sim::Table bins_table({"kept bins", "NMSE", "mean Hamming", "success @11dB"});
   for (std::size_t kept : {3u, 5u, 7u, 9u, 11u}) {
     attack::EmulatorConfig config;
     config.selection.num_kept = kept;
-    const AttackOutcome outcome = evaluate(config, frames, rng);
+    const AttackOutcome outcome = evaluate(config, frames, trial_count, engine);
     bins_table.add_row({std::to_string(kept), sim::Table::num(outcome.nmse, 4),
                         sim::Table::num(outcome.mean_hamming, 2),
                         sim::Table::percent(outcome.success_11db)});
+    bins_success.push_back(outcome.success_11db);
   }
-  bins_table.print(std::cout);
+  bins_table.print();
   std::printf("expectation: success collapses below 7 bins; beyond 7 the extra\n"
               "bins fall outside the ZigBee 2 MHz window and change little.\n");
 
@@ -73,20 +83,26 @@ int main() {
   for (double alpha : {0.5, 2.0, std::sqrt(26.0), 12.0, 40.0}) {
     attack::EmulatorConfig config;
     config.alpha = alpha;
-    const AttackOutcome outcome = evaluate(config, frames, rng);
+    const AttackOutcome outcome = evaluate(config, frames, trial_count, engine);
     alpha_table.add_row({sim::Table::num(alpha, 2), sim::Table::num(outcome.nmse, 4),
                          sim::Table::num(outcome.mean_hamming, 2),
                          sim::Table::percent(outcome.success_11db)});
+    alpha_success.push_back(outcome.success_11db);
   }
   {
     attack::EmulatorConfig config;  // alpha = nullopt -> per-frame optimum
-    const AttackOutcome outcome = evaluate(config, frames, rng);
+    const AttackOutcome outcome = evaluate(config, frames, trial_count, engine);
     alpha_table.add_row({"optimized", sim::Table::num(outcome.nmse, 4),
                          sim::Table::num(outcome.mean_hamming, 2),
                          sim::Table::percent(outcome.success_11db)});
+    alpha_success.push_back(outcome.success_11db);
   }
-  alpha_table.print(std::cout);
+  alpha_table.print();
   std::printf("expectation: the optimized scale matches or beats every fixed one;\n"
               "extreme scales clip or coarsen the grid and lose the frame.\n");
+
+  report.set("bins_success_rate", bins_success);
+  report.set("alpha_success_rate", alpha_success);
+  report.print();
   return 0;
 }

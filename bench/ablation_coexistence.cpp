@@ -5,6 +5,8 @@
 //  (b) whether the attack still lands through interference,
 //  (c) whether interference makes the defense false-alarm on authentic
 //      traffic (it distorts the constellation too!).
+#include <optional>
+
 #include "bench_common.h"
 #include "defense/detector.h"
 #include "sim/defense_run.h"
@@ -15,10 +17,22 @@
 
 using namespace ctc;
 
-int main() {
-  dsp::Rng rng = bench::make_rng("Ablation: coexistence with background WiFi traffic");
+namespace {
+
+struct CoexObservation {
+  bool failed = false;
+  std::optional<double> distance_sq;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  sim::TrialEngine engine = bench::make_engine(
+      options, "Ablation: coexistence with background WiFi traffic");
   const auto frames = zigbee::make_text_workload(20);
   defense::Detector detector;  // default threshold 0.5; we report distances
+  const std::size_t trials = options.trials_or(60);
 
   sim::LinkConfig auth_config;
   auth_config.environment = channel::Environment::awgn(17.0);
@@ -28,45 +42,74 @@ int main() {
   const sim::Link emulated(emu_config);
   const zigbee::Receiver receiver;
 
+  bench::JsonReport report(options, "ablation_coexistence");
+  report.set("trials", trials);
+  std::vector<double> sirs, auth_pers, emu_pers, auth_means, emu_means;
+
   sim::Table table({"SIR", "auth PER", "emu PER", "auth DE^2 mean",
                     "emu DE^2 mean"});
   for (double sir_db : {30.0, 20.0, 10.0, 5.0, 0.0}) {
     sim::WifiInterferenceConfig interference;
     interference.sir_db = sir_db;
-    std::size_t auth_fail = 0, emu_fail = 0;
-    rvec auth_d, emu_d;
-    const std::size_t trials = 60;
-    for (std::size_t i = 0; i < trials; ++i) {
-      for (const auto& [link, fail, distances] :
-           {std::tuple{&authentic, &auth_fail, &auth_d},
-            std::tuple{&emulated, &emu_fail, &emu_d}}) {
-        const cvec clean = link->clean_waveform(frames[i % frames.size()]);
+
+    // One engine trial = one interfered frame through one link.
+    auto run_link = [&](const sim::Link& link) {
+      return engine.map(trials, [&](std::size_t i, dsp::Rng& rng) {
+        const cvec clean = link.clean_waveform(frames[i % frames.size()]);
         const cvec with_wifi = sim::add_wifi_interference(clean, interference, rng);
         const cvec received = auth_config.environment.propagate(with_wifi, rng);
         const auto rx = receiver.receive(received);
-        if (!(rx.frame_ok())) ++*fail;
+        CoexObservation observation;
+        observation.failed = !rx.frame_ok();
         if (rx.freq_chips.size() >= 8) {
-          distances->push_back(detector.classify(rx.freq_chips).distance_sq);
+          observation.distance_sq = detector.classify(rx.freq_chips).distance_sq;
         }
+        return observation;
+      });
+    };
+
+    auto summarize = [](const std::vector<CoexObservation>& observations,
+                        std::size_t& failures, rvec& distances) {
+      for (const CoexObservation& o : observations) {
+        failures += o.failed;
+        if (o.distance_sq) distances.push_back(*o.distance_sq);
       }
-    }
+    };
+    std::size_t auth_fail = 0, emu_fail = 0;
+    rvec auth_d, emu_d;
+    summarize(run_link(authentic), auth_fail, auth_d);
+    summarize(run_link(emulated), emu_fail, emu_d);
+
     auto mean = [](const rvec& v) {
       if (v.empty()) return 0.0;
       double acc = 0.0;
       for (double x : v) acc += x;
       return acc / static_cast<double>(v.size());
     };
+    const double trials_d = static_cast<double>(trials);
     table.add_row({sim::Table::num(sir_db, 0) + "dB",
-                   sim::Table::num(static_cast<double>(auth_fail) / trials, 3),
-                   sim::Table::num(static_cast<double>(emu_fail) / trials, 3),
+                   sim::Table::num(static_cast<double>(auth_fail) / trials_d, 3),
+                   sim::Table::num(static_cast<double>(emu_fail) / trials_d, 3),
                    sim::Table::num(mean(auth_d), 4), sim::Table::num(mean(emu_d), 4)});
+    sirs.push_back(sir_db);
+    auth_pers.push_back(static_cast<double>(auth_fail) / trials_d);
+    emu_pers.push_back(static_cast<double>(emu_fail) / trials_d);
+    auth_means.push_back(mean(auth_d));
+    emu_means.push_back(mean(emu_d));
   }
-  table.print(std::cout);
+  table.print();
   std::printf(
       "\nreading: DSSS shrugs off moderate WiFi interference (the paper's\n"
       "quiet-spectrum assumption is convenient, not essential, for the\n"
       "attack), but strong interference inflates the authentic DE^2 toward\n"
       "the emulated class — a defender must either sense-and-skip interfered\n"
       "frames (CSMA gives it the tool) or raise the threshold at low SIR.\n");
+
+  report.set("sir_db", sirs);
+  report.set("authentic_per", auth_pers);
+  report.set("emulated_per", emu_pers);
+  report.set("authentic_mean_de2", auth_means);
+  report.set("emulated_mean_de2", emu_means);
+  report.print();
   return 0;
 }

@@ -43,8 +43,15 @@ constexpr defense::ModulationClass kClasses[] = {
 
 }  // namespace
 
-int main() {
-  dsp::Rng rng = bench::make_rng("Extension: cumulant modulation classifier");
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  sim::TrialEngine engine =
+      bench::make_engine(options, "Extension: cumulant modulation classifier");
+  const std::size_t trials_per_class = options.trials_or(200);
+
+  bench::JsonReport report(options, "amc_classifier");
+  report.set("trials_per_class", trials_per_class);
+  std::vector<double> diagonal_fraction;
 
   for (double snr_db : {20.0, 10.0}) {
     bench::section(("confusion matrix at " + sim::Table::num(snr_db, 0) +
@@ -54,29 +61,38 @@ int main() {
     for (auto klass : kClasses) header.push_back(defense::to_string(klass));
     sim::Table table(header);
     const double noise_variance = dsp::from_db(-snr_db);
+    std::size_t diagonal_hits = 0;
     for (auto truth : kClasses) {
       const cvec constellation = constellation_of(truth);
+      // One engine trial = one 4096-sample draw, classified.
+      const auto decisions = engine.map(
+          trials_per_class, [&](std::size_t, dsp::Rng& rng) {
+            cvec samples(4096);
+            for (auto& s : samples) {
+              s = constellation[rng.uniform_index(constellation.size())] +
+                  rng.complex_gaussian(noise_variance);
+            }
+            defense::AmcConfig config;
+            config.noise_variance = noise_variance;
+            return defense::classify_modulation(samples, config).best;
+          });
       std::vector<std::size_t> counts(std::size(kClasses), 0);
-      for (int trial = 0; trial < 200; ++trial) {
-        cvec samples(4096);
-        for (auto& s : samples) {
-          s = constellation[rng.uniform_index(constellation.size())] +
-              rng.complex_gaussian(noise_variance);
-        }
-        defense::AmcConfig config;
-        config.noise_variance = noise_variance;
-        const auto result = defense::classify_modulation(samples, config);
+      for (auto decided : decisions) {
         for (std::size_t c = 0; c < std::size(kClasses); ++c) {
-          if (kClasses[c] == result.best) ++counts[c];
+          if (kClasses[c] == decided) ++counts[c];
         }
       }
       std::vector<std::string> row = {defense::to_string(truth)};
       for (std::size_t c = 0; c < std::size(kClasses); ++c) {
         row.push_back(counts[c] ? std::to_string(counts[c]) : ".");
+        if (kClasses[c] == truth) diagonal_hits += counts[c];
       }
       table.add_row(row);
     }
-    table.print(std::cout);
+    table.print();
+    diagonal_fraction.push_back(
+        static_cast<double>(diagonal_hits) /
+        static_cast<double>(trials_per_class * std::size(kClasses)));
   }
   std::printf(
       "\nnote: the dense QAM rows (and 8/16-PAM) share nearly identical\n"
@@ -92,15 +108,22 @@ int main() {
   for (const auto& [name, config] :
        {std::pair{"authentic", authentic}, std::pair{"emulated ", emulated}}) {
     const sim::Link link(config);
+    struct Vote { bool usable = false; bool qpsk = false; };
+    const auto votes = engine.map(frames.size(), [&](std::size_t i, dsp::Rng& rng) {
+      const auto observation = link.send(frames[i], rng);
+      Vote vote;
+      if (observation.rx.freq_chips.size() < 8) return vote;
+      const cvec points = defense::build_constellation(observation.rx.freq_chips);
+      vote.usable = true;
+      vote.qpsk = defense::classify_modulation(points).best ==
+                  defense::ModulationClass::qpsk;
+      return vote;
+    });
     std::size_t qpsk_votes = 0;
     std::size_t frames_used = 0;
-    for (std::size_t i = 0; i < 20; ++i) {
-      const auto observation = link.send(frames[i], rng);
-      if (observation.rx.freq_chips.size() < 8) continue;
-      const cvec points = defense::build_constellation(observation.rx.freq_chips);
-      const auto result = defense::classify_modulation(points);
-      qpsk_votes += result.best == defense::ModulationClass::qpsk;
-      ++frames_used;
+    for (const Vote& vote : votes) {
+      qpsk_votes += vote.usable && vote.qpsk;
+      frames_used += vote.usable;
     }
     std::printf("%s: classified QPSK in %zu/%zu frames\n", name, qpsk_votes,
                 frames_used);
@@ -108,5 +131,8 @@ int main() {
   std::printf("shape check: authentic constellations classify as QPSK; the\n"
               "attack's distorted clouds do not -> the binary detector of\n"
               "Sec. VI is the specialization of this classifier.\n");
+
+  report.set("confusion_diagonal_fraction", diagonal_fraction);
+  report.print();
   return 0;
 }

@@ -1,25 +1,211 @@
-// Shared helpers for the reproduction bench binaries. Every bench prints its
-// RNG seed and the paper's reference numbers next to the measured ones.
+// Shared CLI layer for the reproduction bench binaries.
+//
+// Every bench accepts the same flags:
+//   --seed=N      RNG seed (default 20190707, the ICDCS'19 date)
+//   --trials=N    override the bench's per-point trial counts
+//   --threads=N   worker threads (default: CTC_THREADS env, then hardware)
+//   --json        append a one-line machine-readable report to stdout
+//
+// Flags also accept the two-argument form (`--seed 7`). The human-readable
+// output always prints; with --json the LAST line of stdout is a single
+// JSON object, so `./bench --json | tail -n1 > BENCH_<name>.json` captures
+// the trajectory file. The JSON deliberately excludes thread count and
+// timing: it records simulation results, which are bit-identical for a
+// fixed seed at any thread count — the CI determinism gate diffs the JSON
+// of a threads=1 and a threads=4 run.
+//
+// All output in this layer goes through C stdio (std::printf / PRIu64);
+// benches should use sim::Table::print() rather than iostream so rows and
+// logs share one buffering path.
 #pragma once
 
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
-#include <iostream>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "dsp/rng.h"
+#include "sim/engine.h"
 #include "sim/table.h"
+#include "sim/thread_pool.h"
 
 namespace ctc::bench {
 
 inline constexpr std::uint64_t kDefaultSeed = 20190707;  // ICDCS'19
 
-inline dsp::Rng make_rng(const char* bench_name) {
+/// Options shared by every bench binary.
+struct Options {
+  std::uint64_t seed = kDefaultSeed;
+  std::size_t threads = 0;            ///< 0 = auto (CTC_THREADS, hardware)
+  std::optional<std::size_t> trials;  ///< overrides per-bench trial counts
+  bool json = false;                  ///< emit the machine-readable report
+
+  /// The trial count a bench should use where it defaults to `fallback`.
+  std::size_t trials_or(std::size_t fallback) const {
+    return trials.value_or(fallback);
+  }
+};
+
+namespace detail {
+
+inline bool flag_value(int argc, char** argv, int& i, const char* name,
+                       const char** out) {
+  const std::size_t len = std::strlen(name);
+  const char* arg = argv[i];
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0') {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s expects a value\n", name);
+      std::exit(2);
+    }
+    *out = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+inline std::uint64_t parse_u64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "invalid value for %s: %s\n", flag, text);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace detail
+
+inline Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      options.json = true;
+    } else if (detail::flag_value(argc, argv, i, "--seed", &value)) {
+      options.seed = detail::parse_u64(value, "--seed");
+    } else if (detail::flag_value(argc, argv, i, "--threads", &value)) {
+      options.threads =
+          static_cast<std::size_t>(detail::parse_u64(value, "--threads"));
+    } else if (detail::flag_value(argc, argv, i, "--trials", &value)) {
+      options.trials =
+          static_cast<std::size_t>(detail::parse_u64(value, "--trials"));
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: %s [--seed=N] [--trials=N] [--threads=N] [--json]\n"
+          "  --seed=N     RNG seed (default %" PRIu64 ")\n"
+          "  --trials=N   override the bench's per-point trial counts\n"
+          "  --threads=N  worker threads (default: CTC_THREADS, then "
+          "hardware)\n"
+          "  --json       print a one-line JSON report as the last line\n",
+          argv[0], kDefaultSeed);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// Prints the bench banner for benches with no Monte Carlo loop (no engine).
+inline void print_banner(const Options& options, const char* bench_name) {
   std::printf("=== %s ===\n", bench_name);
-  std::printf("seed: %llu\n\n", static_cast<unsigned long long>(kDefaultSeed));
-  return dsp::Rng(kDefaultSeed);
+  std::printf("seed: %" PRIu64 "\n\n", options.seed);
+}
+
+/// Prints the bench banner and builds the trial engine the bench runs on.
+inline sim::TrialEngine make_engine(const Options& options,
+                                    const char* bench_name) {
+  sim::TrialEngine engine({options.seed, options.threads});
+  std::printf("=== %s ===\n", bench_name);
+  std::printf("seed: %" PRIu64 "   threads: %zu\n\n", options.seed,
+              engine.threads());
+  return engine;
 }
 
 inline void section(const char* title) { std::printf("\n--- %s ---\n", title); }
+
+/// Insertion-ordered JSON object writer for the --json report. Doubles
+/// print with %.17g (round-trip exact), so two runs that compute identical
+/// results emit byte-identical lines — the property the CI determinism
+/// diff checks.
+class JsonReport {
+ public:
+  JsonReport(const Options& options, const char* bench_name)
+      : enabled_(options.json) {
+    set("bench", bench_name);
+    set("seed", options.seed);
+  }
+
+  void set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, quote(value));
+  }
+  void set(const std::string& key, const char* value) {
+    set(key, std::string(value));
+  }
+  void set(const std::string& key, double value) {
+    fields_.emplace_back(key, format_double(value));
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%" PRIu64, value);
+    fields_.emplace_back(key, buffer);
+  }
+  void set(const std::string& key, int value) {
+    set(key, static_cast<std::uint64_t>(value));
+  }
+  void set(const std::string& key, const std::vector<double>& values) {
+    std::string rendered = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) rendered += ",";
+      rendered += format_double(values[i]);
+    }
+    rendered += "]";
+    fields_.emplace_back(key, std::move(rendered));
+  }
+
+  /// Prints the report as one line iff --json was given. Call last: the
+  /// BENCH_*.json capture is `... --json | tail -n1`.
+  void print() const {
+    if (!enabled_) return;
+    std::fputs("{", stdout);
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) std::fputs(",", stdout);
+      std::printf("%s:%s", quote(fields_[i].first).c_str(),
+                  fields_[i].second.c_str());
+    }
+    std::fputs("}\n", stdout);
+  }
+
+ private:
+  static std::string format_double(double value) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+  }
+
+  static std::string quote(const std::string& text) {
+    std::string quoted = "\"";
+    for (char c : text) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+  bool enabled_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace ctc::bench

@@ -11,12 +11,14 @@
 
 using namespace ctc;
 
-int main() {
-  dsp::Rng rng = bench::make_rng("Fig. 12: defense performance vs threshold");
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  sim::TrialEngine engine =
+      bench::make_engine(options, "Fig. 12: defense performance vs threshold");
   const auto frames = zigbee::make_text_workload(100);
   defense::Detector extractor;
-  constexpr std::size_t kTrain = 50;
-  constexpr std::size_t kTest = 100;
+  const std::size_t train_frames = options.trials_or(50);
+  const std::size_t test_frames = options.trials_or(100);
 
   // Calibrate on 50 frames per link at each SNR (paper Sec. VII-B), pooling
   // into one global threshold.
@@ -32,10 +34,10 @@ int main() {
     emu_links.emplace_back(emulated);
   }
   for (std::size_t i = 0; i < snrs.size(); ++i) {
-    const auto a = sim::collect_defense_samples(auth_links[i], frames, kTrain,
-                                                extractor, rng);
-    const auto e = sim::collect_defense_samples(emu_links[i], frames, kTrain,
-                                                extractor, rng);
+    const auto a = sim::collect_defense_samples(auth_links[i], frames,
+                                                train_frames, extractor, engine);
+    const auto e = sim::collect_defense_samples(emu_links[i], frames,
+                                                train_frames, extractor, engine);
     train_auth.insert(train_auth.end(), a.distances.begin(), a.distances.end());
     train_emu.insert(train_emu.end(), e.distances.begin(), e.distances.end());
   }
@@ -46,13 +48,16 @@ int main() {
   tuned.threshold = threshold;
   defense::Detector detector(tuned);
 
+  bench::JsonReport report(options, "fig12_threshold");
+  std::vector<double> auth_max, emu_min, false_alarm_counts, missed_counts;
+
   sim::Table table({"SNR", "auth DE^2 max", "emu DE^2 min", "false alarms",
                     "missed attacks"});
   for (std::size_t i = 0; i < snrs.size(); ++i) {
-    const auto a = sim::collect_defense_samples(auth_links[i], frames, kTest,
-                                                detector, rng);
-    const auto e = sim::collect_defense_samples(emu_links[i], frames, kTest,
-                                                detector, rng);
+    const auto a = sim::collect_defense_samples(auth_links[i], frames,
+                                                test_frames, detector, engine);
+    const auto e = sim::collect_defense_samples(emu_links[i], frames,
+                                                test_frames, detector, engine);
     std::size_t false_alarms = 0;
     for (double d : a.distances) false_alarms += d >= threshold;
     std::size_t missed = 0;
@@ -62,9 +67,21 @@ int main() {
                    sim::Table::num(e.min_distance(), 4),
                    std::to_string(false_alarms) + "/" + std::to_string(a.frames_used),
                    std::to_string(missed) + "/" + std::to_string(e.frames_used)});
+    auth_max.push_back(a.max_distance());
+    emu_min.push_back(e.min_distance());
+    false_alarm_counts.push_back(static_cast<double>(false_alarms));
+    missed_counts.push_back(static_cast<double>(missed));
   }
-  table.print(std::cout);
+  table.print();
   std::printf("\nshape check (paper): max authentic DE^2 < Q < min emulated DE^2 at\n"
               "every SNR >= 7 dB -> zero false alarms, zero missed attacks.\n");
+
+  report.set("threshold", threshold);
+  report.set("snr_db", snrs);
+  report.set("authentic_max_de2", auth_max);
+  report.set("emulated_min_de2", emu_min);
+  report.set("false_alarms", false_alarm_counts);
+  report.set("missed_attacks", missed_counts);
+  report.print();
   return 0;
 }

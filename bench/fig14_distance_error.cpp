@@ -14,14 +14,20 @@
 
 using namespace ctc;
 
-int main() {
-  dsp::Rng rng = bench::make_rng("Fig. 14: attack performance vs distance");
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  sim::TrialEngine engine =
+      bench::make_engine(options, "Fig. 14: attack performance vs distance");
   const auto frames = zigbee::make_text_workload(100);
-  constexpr std::size_t kFramesPerPoint = 200;
+  const std::size_t frames_per_point = options.trials_or(200);
+
+  bench::JsonReport report(options, "fig14_distance_error");
+  report.set("frames_per_point", frames_per_point);
 
   for (const auto& profile :
        {zigbee::ReceiverProfile::usrp(), zigbee::ReceiverProfile::cc26x2r1()}) {
     bench::section(("receiver: " + profile.name).c_str());
+    std::vector<double> orig_per, emu_per;
     sim::Table table({"distance", "SNR", "RSSI", "orig PER", "orig SER", "emu PER",
                       "emu SER"});
     for (double meters : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}) {
@@ -32,9 +38,9 @@ int main() {
       sim::LinkConfig emulated = original;
       emulated.kind = sim::LinkKind::emulated;
       const auto orig = sim::run_frames(sim::Link(original), frames,
-                                        kFramesPerPoint, rng);
+                                        frames_per_point, engine);
       const auto emu = sim::run_frames(sim::Link(emulated), frames,
-                                       kFramesPerPoint, rng);
+                                       frames_per_point, engine);
       channel::PathLossModel path_loss;
       table.add_row({sim::Table::num(meters, 0) + "m",
                      sim::Table::num(environment.effective_snr_db(), 1) + "dB",
@@ -43,8 +49,12 @@ int main() {
                      sim::Table::num(orig.symbol_error_rate(), 3),
                      sim::Table::num(emu.packet_error_rate(), 3),
                      sim::Table::num(emu.symbol_error_rate(), 3)});
+      orig_per.push_back(orig.packet_error_rate());
+      emu_per.push_back(emu.packet_error_rate());
     }
-    table.print(std::cout);
+    table.print();
+    report.set("original_per_" + profile.name, orig_per);
+    report.set("emulated_per_" + profile.name, emu_per);
   }
   std::printf(
       "\nshape checks (paper):\n"
@@ -52,5 +62,6 @@ int main() {
       "   the original waveform degrades at 8 m; emulated error >= original.\n"
       " * CC26x2R1: both links below 0.1 error even at 8 m (stronger demod).\n"
       " * PER >= SER everywhere (a packet fails if any symbol fails).\n");
+  report.print();
   return 0;
 }

@@ -14,8 +14,9 @@
 
 using namespace ctc;
 
-int main() {
-  bench::make_rng("Fig. 5: original vs emulated ZigBee waveform (I/Q)");
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  bench::print_banner(options, "Fig. 5: original vs emulated ZigBee waveform (I/Q)");
 
   zigbee::Transmitter tx;
   const cvec observed = tx.transmit_frame(zigbee::make_text_frame(0, 0));
@@ -49,7 +50,7 @@ int main() {
                    sim::Table::num(original20[start + i].imag(), 3),
                    sim::Table::num(e.imag(), 3)});
   }
-  table.print(std::cout);
+  table.print();
 
   bench::section("distortion by segment (paper: perfect except first 0.8 us)");
   double cp_error = 0.0, cp_energy = 0.0, body_error = 0.0, body_energy = 0.0;
@@ -74,5 +75,12 @@ int main() {
               dsp::nmse(observed, result.emulated_4mhz));
   std::printf("\nshape check: the CP head is several times worse than the body —\n"
               "exactly the 0.8 us mismatch Fig. 5 shows.\n");
+
+  bench::JsonReport report(options, "fig5_emulated_waveform");
+  report.set("cp_head_nmse", cp_error / cp_energy);
+  report.set("body_nmse", body_error / body_energy);
+  report.set("whole_frame_nmse", (cp_error + body_error) / (cp_energy + body_energy));
+  report.set("nmse_4mhz", dsp::nmse(observed, result.emulated_4mhz));
+  report.print();
   return 0;
 }

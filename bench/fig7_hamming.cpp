@@ -11,20 +11,23 @@
 
 using namespace ctc;
 
-int main() {
-  dsp::Rng rng = bench::make_rng("Fig. 7: Hamming distance distribution");
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  sim::TrialEngine engine =
+      bench::make_engine(options, "Fig. 7: Hamming distance distribution");
   const auto frames = zigbee::make_text_workload(100);
+  const std::size_t frame_count = options.trials_or(100);
 
   auto histogram_of = [&](sim::LinkKind kind) {
     sim::LinkConfig config;
     config.kind = kind;
     config.environment = channel::Environment::awgn(30.0);  // high SNR
-    return sim::run_frames(sim::Link(config), frames, 100, rng);
+    return sim::run_frames(sim::Link(config), frames, frame_count, engine);
   };
   const auto authentic = histogram_of(sim::LinkKind::authentic);
   const auto emulated = histogram_of(sim::LinkKind::emulated);
 
-  auto total = [](const sim::LinkStats& stats) {
+  auto total = [](const sim::FrameStats& stats) {
     std::size_t n = 0;
     for (const auto& [d, c] : stats.hamming_histogram) n += c;
     return n;
@@ -32,6 +35,7 @@ int main() {
   const double auth_total = static_cast<double>(total(authentic));
   const double emu_total = static_cast<double>(total(emulated));
 
+  std::vector<double> auth_fraction, emu_fraction;
   sim::Table table({"Hamming distance", "authentic (fraction)", "emulated (fraction)"});
   for (std::size_t d = 0; d <= 10; ++d) {
     const auto a = authentic.hamming_histogram.count(d)
@@ -40,13 +44,23 @@ int main() {
                        ? emulated.hamming_histogram.at(d) : 0;
     table.add_row({std::to_string(d), sim::Table::num(a / auth_total, 3),
                    sim::Table::num(e / emu_total, 3)});
+    auth_fraction.push_back(a / auth_total);
+    emu_fraction.push_back(e / emu_total);
   }
-  table.print(std::cout);
+  table.print();
 
   std::printf("\nauthentic frames decoded: %zu/%zu, emulated: %zu/%zu\n",
               authentic.frames_ok, authentic.frames_sent, emulated.frames_ok,
               emulated.frames_sent);
   std::printf("paper: authentic mass at distance 0; emulated mass at 4-8,\n"
               "all decodable with a feasible threshold (DSSS error resilience).\n");
+
+  bench::JsonReport report(options, "fig7_hamming");
+  report.set("frames", frame_count);
+  report.set("authentic_fraction_by_distance", auth_fraction);
+  report.set("emulated_fraction_by_distance", emu_fraction);
+  report.set("authentic_frames_ok", authentic.frames_ok);
+  report.set("emulated_frames_ok", emulated.frames_ok);
+  report.print();
   return 0;
 }

@@ -1,0 +1,87 @@
+// Perf — trial-engine scaling: wall time of the Table II Monte Carlo loop
+// at threads=1 vs threads=N, plus a runtime check that both thread counts
+// produce bit-identical aggregates (the engine's determinism contract).
+//
+//   $ ./perf_engine --json | tail -n1 > BENCH_perf_engine.json
+//
+// Unlike the reproduction benches, this JSON intentionally contains wall
+// times — do not use it in the CI determinism diff.
+#include <chrono>
+
+#include "bench_common.h"
+#include "sim/link.h"
+#include "sim/metrics.h"
+#include "zigbee/app.h"
+
+using namespace ctc;
+
+namespace {
+
+double time_run(sim::TrialEngine& engine, const sim::Link& link,
+                std::span<const zigbee::MacFrame> frames, std::size_t trials,
+                sim::FrameStats* stats_out) {
+  const auto start = std::chrono::steady_clock::now();
+  sim::FrameStats stats = sim::run_frames(link, frames, trials, engine);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  if (stats_out) *stats_out = std::move(stats);
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  bench::print_banner(options, "Perf: trial-engine scaling (run_frames)");
+  const std::size_t trials = options.trials_or(400);
+  const std::size_t wide_threads = sim::ThreadPool::resolve_threads(options.threads);
+
+  const auto frames = zigbee::make_text_workload(20);
+  sim::LinkConfig config;
+  config.kind = sim::LinkKind::emulated;
+  config.environment = channel::Environment::awgn(8.0);
+  const sim::Link link(config);
+
+  // One engine per thread count, same seed: the engine's per-trial streams
+  // depend only on (seed, run counter, trial index), so both runs replay
+  // identical randomness and must agree exactly.
+  sim::TrialEngine serial_engine({options.seed, 1});
+  sim::TrialEngine wide_engine({options.seed, wide_threads});
+
+  // Warm-up outside the timed region (pool spin-up, allocator, FFT plans).
+  sim::run_frames(link, frames, std::min<std::size_t>(trials, 8), serial_engine);
+  sim::run_frames(link, frames, std::min<std::size_t>(trials, 8), wide_engine);
+
+  sim::FrameStats serial_stats, wide_stats;
+  const double serial_ms = time_run(serial_engine, link, frames, trials, &serial_stats);
+  const double wide_ms = time_run(wide_engine, link, frames, trials, &wide_stats);
+  const double speedup = serial_ms / wide_ms;
+
+  const bool identical = serial_stats.frames_ok == wide_stats.frames_ok &&
+                         serial_stats.symbol_errors == wide_stats.symbol_errors &&
+                         serial_stats.hamming_histogram == wide_stats.hamming_histogram;
+
+  sim::Table table({"threads", "wall time", "speedup", "frames ok"});
+  table.add_row({"1", sim::Table::num(serial_ms, 1) + " ms", "1.00x",
+                 std::to_string(serial_stats.frames_ok) + "/" +
+                     std::to_string(serial_stats.frames_sent)});
+  table.add_row({std::to_string(wide_threads),
+                 sim::Table::num(wide_ms, 1) + " ms",
+                 sim::Table::num(speedup, 2) + "x",
+                 std::to_string(wide_stats.frames_ok) + "/" +
+                     std::to_string(wide_stats.frames_sent)});
+  table.print();
+  std::printf("\naggregates bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO (determinism bug!)");
+
+  bench::JsonReport report(options, "perf_engine");
+  report.set("trials", trials);
+  report.set("threads_wide", wide_threads);
+  report.set("wall_ms_threads1", serial_ms);
+  report.set("wall_ms_wide", wide_ms);
+  report.set("speedup", speedup);
+  report.set("aggregates_identical", identical ? "yes" : "no");
+  report.print();
+  return identical ? 0 : 1;
+}

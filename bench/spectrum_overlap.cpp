@@ -10,8 +10,10 @@
 
 using namespace ctc;
 
-int main() {
-  bench::make_rng("Spectrum overlap: ZigBee ch. 17 inside the WiFi band");
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  bench::print_banner(options,
+                      "Spectrum overlap: ZigBee ch. 17 inside the WiFi band");
 
   zigbee::Transmitter tx;
   const cvec zigbee_4mhz = tx.transmit_frame(zigbee::make_text_frame(0, 0));
@@ -20,16 +22,17 @@ int main() {
   dsp::PsdConfig config4;
   config4.sample_rate_hz = 4.0e6;
   const auto psd4 = dsp::welch_psd(zigbee_4mhz, config4);
+  const double frac_0p5 = dsp::band_power_fraction(psd4, -0.5e6, 0.5e6);
+  const double frac_1p0 = dsp::band_power_fraction(psd4, -1.0e6, 1.0e6);
+  const double frac_7sc =
+      dsp::band_power_fraction(psd4, -7.0 * 0.3125e6 / 2, 7.0 * 0.3125e6 / 2);
+  const double frac_1p5 = dsp::band_power_fraction(psd4, -1.5e6, 1.5e6);
   sim::Table occupancy({"band", "power fraction"});
-  occupancy.add_row({"+-0.5 MHz", sim::Table::percent(
-      dsp::band_power_fraction(psd4, -0.5e6, 0.5e6))});
-  occupancy.add_row({"+-1.0 MHz (ZigBee channel)", sim::Table::percent(
-      dsp::band_power_fraction(psd4, -1.0e6, 1.0e6))});
-  occupancy.add_row({"+-1.1 MHz (7 WiFi subcarriers)", sim::Table::percent(
-      dsp::band_power_fraction(psd4, -7.0 * 0.3125e6 / 2, 7.0 * 0.3125e6 / 2))});
-  occupancy.add_row({"+-1.5 MHz", sim::Table::percent(
-      dsp::band_power_fraction(psd4, -1.5e6, 1.5e6))});
-  occupancy.print(std::cout);
+  occupancy.add_row({"+-0.5 MHz", sim::Table::percent(frac_0p5)});
+  occupancy.add_row({"+-1.0 MHz (ZigBee channel)", sim::Table::percent(frac_1p0)});
+  occupancy.add_row({"+-1.1 MHz (7 WiFi subcarriers)", sim::Table::percent(frac_7sc)});
+  occupancy.add_row({"+-1.5 MHz", sim::Table::percent(frac_1p5)});
+  occupancy.print();
   std::printf("-> ~7 x 0.3125 MHz subcarriers capture nearly all the energy:\n"
               "   the quantitative basis of the paper's subcarrier budget.\n");
 
@@ -40,15 +43,22 @@ int main() {
   dsp::PsdConfig config20;
   config20.sample_rate_hz = 20.0e6;
   const auto psd20 = dsp::welch_psd(at_20mhz, config20);
+  const double frac_band = dsp::band_power_fraction(psd20, -6.25e6, -3.75e6);
   sim::Table bands({"WiFi-relative band", "power fraction"});
   bands.add_row({"[-6.25, -3.75] MHz (subcarriers -20..-12)",
-                 sim::Table::percent(dsp::band_power_fraction(psd20, -6.25e6, -3.75e6))});
+                 sim::Table::percent(frac_band)});
   bands.add_row({"[-4.0, -6.0] MHz around the ZigBee center",
                  sim::Table::percent(dsp::band_power_fraction(psd20, -6.0e6, -4.0e6))});
-  bands.add_row({"elsewhere (|f+5 MHz| > 1.25 MHz)", sim::Table::percent(
-      1.0 - dsp::band_power_fraction(psd20, -6.25e6, -3.75e6))});
-  bands.print(std::cout);
+  bands.add_row({"elsewhere (|f+5 MHz| > 1.25 MHz)",
+                 sim::Table::percent(1.0 - frac_band)});
+  bands.print();
   std::printf("-> the ZigBee signal sits 5 MHz below the WiFi center, on data\n"
               "   subcarriers [-20, -8]: exactly the paper's carrier allocation.\n");
+
+  bench::JsonReport report(options, "spectrum_overlap");
+  report.set("fraction_pm_1mhz", frac_1p0);
+  report.set("fraction_7_subcarriers", frac_7sc);
+  report.set("fraction_attack_band_20mhz", frac_band);
+  report.print();
   return 0;
 }

@@ -12,8 +12,9 @@
 
 using namespace ctc;
 
-int main() {
-  bench::make_rng("Table I: frequency points of the ZigBee waveform");
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  bench::print_banner(options, "Table I: frequency points of the ZigBee waveform");
 
   zigbee::Transmitter tx;
   const cvec observed = tx.transmit_frame(zigbee::make_text_frame(0, 0));
@@ -36,7 +37,7 @@ int main() {
   };
   for (std::size_t bin = 0; bin < 7; ++bin) add_row(bin);
   for (std::size_t bin = 54; bin < 64; ++bin) add_row(bin);
-  table.print(std::cout);
+  table.print();
 
   bench::section("coarse estimation (votes above threshold 3)");
   sim::Table votes({"Index (1-based)", "votes", "windows"});
@@ -44,11 +45,19 @@ int main() {
     votes.add_row({std::to_string(bin + 1), std::to_string(result.votes[bin]),
                    std::to_string(magnitudes.size())});
   }
-  votes.print(std::cout);
+  votes.print();
 
   bench::section("detailed estimation (chosen subcarriers)");
   std::printf("measured (1-based):");
-  for (std::size_t bin : result.bins) std::printf(" %zu", bin + 1);
+  std::vector<double> chosen;
+  for (std::size_t bin : result.bins) {
+    std::printf(" %zu", bin + 1);
+    chosen.push_back(static_cast<double>(bin + 1));
+  }
   std::printf("\npaper:              1 2 3 4 62 63 64\n");
+
+  bench::JsonReport report(options, "table1_freq_points");
+  report.set("chosen_bins_1based", chosen);
+  report.print();
   return 0;
 }

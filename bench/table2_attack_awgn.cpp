@@ -10,10 +10,16 @@
 
 using namespace ctc;
 
-int main() {
-  dsp::Rng rng = bench::make_rng("Table II: emulation attack success rate under AWGN");
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  sim::TrialEngine engine = bench::make_engine(
+      options, "Table II: emulation attack success rate under AWGN");
   const auto frames = zigbee::make_text_workload(100);
-  constexpr std::size_t kFramesPerPoint = 1000;
+  const std::size_t frames_per_point = options.trials_or(1000);
+  const std::size_t authentic_frames = options.trials_or(200);
+
+  bench::JsonReport report(options, "table2_attack_awgn");
+  std::vector<double> snrs, attack_success, authentic_success;
 
   const double paper[] = {42.4, 69.2, 87.4, 93.3, 97.2, 100.0};
   sim::Table table({"SNR", "successful rate (measured)", "paper", "authentic link"});
@@ -23,20 +29,30 @@ int main() {
     attack.kind = sim::LinkKind::emulated;
     attack.environment = channel::Environment::awgn(snr);
     const auto attack_stats =
-        sim::run_frames(sim::Link(attack), frames, kFramesPerPoint, rng);
+        sim::run_frames(sim::Link(attack), frames, frames_per_point, engine);
 
     sim::LinkConfig authentic;
     authentic.environment = channel::Environment::awgn(snr);
-    const auto auth_stats = sim::run_frames(sim::Link(authentic), frames, 200, rng);
+    const auto auth_stats =
+        sim::run_frames(sim::Link(authentic), frames, authentic_frames, engine);
 
     table.add_row({sim::Table::num(snr, 0) + "dB",
                    sim::Table::percent(attack_stats.success_rate()),
                    sim::Table::num(paper[row++], 1) + "%",
                    sim::Table::percent(auth_stats.success_rate())});
+    snrs.push_back(snr);
+    attack_success.push_back(attack_stats.success_rate());
+    authentic_success.push_back(auth_stats.success_rate());
   }
-  table.print(std::cout);
+  table.print();
   std::printf(
       "\nshape check: success rises with SNR and saturates at 100%% by 17 dB,\n"
       "while the authentic link stays near 100%% over the whole range.\n");
+
+  report.set("frames_per_point", frames_per_point);
+  report.set("snr_db", snrs);
+  report.set("attack_success_rate", attack_success);
+  report.set("authentic_success_rate", authentic_success);
+  report.print();
   return 0;
 }

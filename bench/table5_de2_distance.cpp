@@ -11,16 +11,21 @@
 
 using namespace ctc;
 
-int main() {
-  dsp::Rng rng = bench::make_rng("Table V: averaged DE^2 vs distance (|C40| mode)");
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  sim::TrialEngine engine = bench::make_engine(
+      options, "Table V: averaged DE^2 vs distance (|C40| mode)");
   const auto frames = zigbee::make_text_workload(100);
   defense::DetectorConfig config;
   config.c40_mode = defense::C40Mode::magnitude;
   defense::Detector detector(config);
-  constexpr std::size_t kFramesPerPoint = 100;
+  const std::size_t frames_per_point = options.trials_or(100);
 
   const double paper_auth[] = {0.0004, 0.0007, 0.0011, 0.0103, 0.0003, 0.0007};
   const double paper_emu[] = {1.1426, 1.8706, 1.4818, 1.3215, 2.0024, 1.2152};
+
+  bench::JsonReport report(options, "table5_de2_distance");
+  std::vector<double> distances_m, auth_mean, emu_mean;
 
   sim::Table table({"distance", "ZigBee DE^2", "paper", "Emulated DE^2", "paper "});
   double auth_max = 0.0;
@@ -31,10 +36,10 @@ int main() {
     authentic.environment = channel::Environment::real_world(meters);
     sim::LinkConfig emulated = authentic;
     emulated.kind = sim::LinkKind::emulated;
-    const auto auth = sim::collect_defense_samples(sim::Link(authentic), frames,
-                                                   kFramesPerPoint, detector, rng);
-    const auto emu = sim::collect_defense_samples(sim::Link(emulated), frames,
-                                                  kFramesPerPoint, detector, rng);
+    const auto auth = sim::collect_defense_samples(
+        sim::Link(authentic), frames, frames_per_point, detector, engine);
+    const auto emu = sim::collect_defense_samples(
+        sim::Link(emulated), frames, frames_per_point, detector, engine);
     auth_max = std::max(auth_max, auth.mean_distance());
     emu_min = std::min(emu_min, emu.mean_distance());
     table.add_row({sim::Table::num(meters, 0) + "m",
@@ -42,9 +47,12 @@ int main() {
                    sim::Table::num(paper_auth[row], 4),
                    sim::Table::num(emu.mean_distance(), 4),
                    sim::Table::num(paper_emu[row], 4)});
+    distances_m.push_back(meters);
+    auth_mean.push_back(auth.mean_distance());
+    emu_mean.push_back(emu.mean_distance());
     ++row;
   }
-  table.print(std::cout);
+  table.print();
   std::printf("\nper-distance averages separate: max authentic %.4f < min emulated %.4f\n",
               auth_max, emu_min);
   std::printf("-> pick any threshold in (%.4f, %.4f); the paper picks from [0.1, 1].\n",
@@ -56,6 +64,7 @@ int main() {
     link_config.kind = kind;
     link_config.environment = channel::Environment::real_world(2.0);
     const sim::Link link(link_config);
+    dsp::Rng rng = engine.stream();
     const auto observation = link.send(frames[0], rng);
     const cvec points = defense::build_constellation(observation.rx.freq_chips);
     const auto clusters = defense::kmeans(points, rng);
@@ -69,5 +78,13 @@ int main() {
   }
   std::printf("shape check: authentic centroids sit near the unit QPSK points with\n"
               "tight clusters; emulated clusters are diffuse (larger SS).\n");
+
+  report.set("frames_per_point", frames_per_point);
+  report.set("distance_m", distances_m);
+  report.set("authentic_mean_de2", auth_mean);
+  report.set("emulated_mean_de2", emu_mean);
+  report.set("authentic_max_mean", auth_max);
+  report.set("emulated_min_mean", emu_min);
+  report.print();
   return 0;
 }

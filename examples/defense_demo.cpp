@@ -4,17 +4,20 @@
 //
 // Calibrates the DE^2 threshold from labeled training frames (the paper's
 // procedure: 50 frames per class), then classifies held-out traffic from
-// both an authentic gateway and a WiFi emulation attacker.
+// both an authentic gateway and a WiFi emulation attacker. Training batches
+// run on the parallel trial engine; results are identical at any
+// CTC_THREADS setting because each frame draws its own RNG stream.
 #include <cstdio>
 
 #include "defense/detector.h"
 #include "sim/defense_run.h"
+#include "sim/engine.h"
 #include "sim/link.h"
 #include "zigbee/app.h"
 
 int main() {
   using namespace ctc;
-  dsp::Rng rng(21);
+  sim::TrialEngine engine({/*seed=*/21});
   const auto frames = zigbee::make_text_workload(100);
 
   // Two links into the same receiver at 12 dB.
@@ -28,9 +31,9 @@ int main() {
   // --- calibration phase -------------------------------------------------
   defense::Detector extractor;  // default config, used for features only
   const auto train_auth = sim::collect_defense_samples(gateway, frames, 50,
-                                                       extractor, rng);
+                                                       extractor, engine);
   const auto train_att = sim::collect_defense_samples(attacker, frames, 50,
-                                                      extractor, rng);
+                                                      extractor, engine);
   std::printf("training: authentic DE^2 in [%.4f, %.4f], emulated in [%.4f, %.4f]\n",
               train_auth.min_distance(), train_auth.max_distance(),
               train_att.min_distance(), train_att.max_distance());
@@ -44,6 +47,7 @@ int main() {
   config.threshold = threshold;
   const defense::Detector detector(config);
 
+  dsp::Rng rng = engine.stream();
   int correct = 0;
   int total = 0;
   for (int trial = 0; trial < 20; ++trial) {

@@ -44,6 +44,21 @@ class Rng {
   /// noise source without coupling their consumption order).
   Rng fork();
 
+  /// Derives the `stream_id`-th independent stream of a seed family.
+  ///
+  /// The (seed, stream_id) pair is hashed through SplitMix64 into a fresh
+  /// 256-bit state, so streams are decorrelated even for adjacent ids and
+  /// the result depends only on the pair — not on any generator that may
+  /// already exist. This is what gives Monte Carlo trials scheduling-
+  /// independent randomness: trial i always draws from
+  /// `for_stream(seed, i)` no matter which thread runs it or in what order.
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream_id);
+
+  /// Advances this generator by 2^128 steps (the xoshiro256++ jump
+  /// polynomial). Calling jump() k times partitions one seed's sequence
+  /// into k non-overlapping subsequences of 2^128 draws each.
+  void jump();
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_gaussian_ = 0.0;

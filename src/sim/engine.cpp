@@ -1,0 +1,20 @@
+#include "sim/engine.h"
+
+namespace ctc::sim {
+
+TrialEngine::TrialEngine(EngineConfig config)
+    : config_(config),
+      pool_(std::make_shared<ThreadPool>(config.threads)) {}
+
+std::size_t TrialEngine::threads() const { return pool_->size(); }
+
+std::uint64_t TrialEngine::next_run_base() { return run_counter_++ << 32; }
+
+std::size_t TrialEngine::block_size(std::size_t count) const {
+  // Large enough to keep every worker busy across uneven trial costs, small
+  // enough to bound the number of in-flight FrameObservation results.
+  const std::size_t block = std::max<std::size_t>(64, 8 * pool_->size());
+  return std::max<std::size_t>(1, std::min(block, count));
+}
+
+}  // namespace ctc::sim

@@ -4,7 +4,7 @@
 
 namespace ctc::sim {
 
-void LinkStats::add(const FrameObservation& observation) {
+void FrameStats::add(const FrameObservation& observation) {
   ++frames_sent;
   if (observation.success) ++frames_ok;
   symbols_sent += observation.symbols_sent;
@@ -14,22 +14,30 @@ void LinkStats::add(const FrameObservation& observation) {
   }
 }
 
-double LinkStats::packet_error_rate() const {
+double FrameStats::packet_error_rate() const {
   CTC_REQUIRE(frames_sent > 0);
   return 1.0 - static_cast<double>(frames_ok) / static_cast<double>(frames_sent);
 }
 
-double LinkStats::symbol_error_rate() const {
+double FrameStats::symbol_error_rate() const {
   CTC_REQUIRE(symbols_sent > 0);
   return static_cast<double>(symbol_errors) / static_cast<double>(symbols_sent);
 }
 
-double LinkStats::success_rate() const { return 1.0 - packet_error_rate(); }
+double FrameStats::success_rate() const { return 1.0 - packet_error_rate(); }
 
-LinkStats run_frames(const Link& link, std::span<const zigbee::MacFrame> frames,
-                     std::size_t count, dsp::Rng& rng) {
+FrameStats run_frames(const Link& link, std::span<const zigbee::MacFrame> frames,
+                      std::size_t count, TrialEngine& engine) {
   CTC_REQUIRE(!frames.empty());
-  LinkStats stats;
+  return engine.run<FrameStats>(count, [&](std::size_t i, dsp::Rng& rng) {
+    return link.send(frames[i % frames.size()], rng);
+  });
+}
+
+FrameStats run_frames(const Link& link, std::span<const zigbee::MacFrame> frames,
+                      std::size_t count, dsp::Rng& rng) {
+  CTC_REQUIRE(!frames.empty());
+  FrameStats stats;
   for (std::size_t i = 0; i < count; ++i) {
     stats.add(link.send(frames[i % frames.size()], rng));
   }

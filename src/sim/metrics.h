@@ -6,11 +6,16 @@
 #include <map>
 #include <span>
 
+#include "sim/engine.h"
 #include "sim/link.h"
 
 namespace ctc::sim {
 
-struct LinkStats {
+/// Per-frame trial statistics. Also a TrialEngine aggregator: add() folds
+/// one FrameObservation, and observations commute only through the engine's
+/// fixed trial-index reduction order, which keeps aggregates bit-identical
+/// across thread counts.
+struct FrameStats {
   std::size_t frames_sent = 0;
   std::size_t frames_ok = 0;       ///< decoded end-to-end with matching payload
   std::size_t symbols_sent = 0;
@@ -26,9 +31,20 @@ struct LinkStats {
   double success_rate() const;  ///< 1 - PER (Table II's "successful rate")
 };
 
-/// Sends `count` copies drawn from `frames` (cycled) through the link.
-LinkStats run_frames(const Link& link,
-                     std::span<const zigbee::MacFrame> frames,
-                     std::size_t count, dsp::Rng& rng);
+/// Historical name, kept for callers that predate the trial engine.
+using LinkStats = FrameStats;
+
+/// Sends `count` copies drawn from `frames` (cycled) through the link, one
+/// engine trial per frame, parallel across the engine's thread pool.
+FrameStats run_frames(const Link& link,
+                      std::span<const zigbee::MacFrame> frames,
+                      std::size_t count, TrialEngine& engine);
+
+/// Serial compatibility path: threads one caller-owned generator through
+/// the trials in order. Deterministic for a fixed `rng` state but bound to
+/// one core; prefer the TrialEngine overload.
+FrameStats run_frames(const Link& link,
+                      std::span<const zigbee::MacFrame> frames,
+                      std::size_t count, dsp::Rng& rng);
 
 }  // namespace ctc::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
 
 #include "dsp/require.h"
 
@@ -40,6 +41,12 @@ void Table::print(std::ostream& os) const {
   }
   os << '\n';
   for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print() const {
+  std::ostringstream rendered;
+  print(rendered);
+  std::fputs(rendered.str().c_str(), stdout);
 }
 
 std::string Table::num(double value, int precision) {

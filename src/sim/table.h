@@ -14,6 +14,9 @@ class Table {
 
   Table& add_row(std::vector<std::string> row);
   void print(std::ostream& os) const;
+  /// Prints to stdout through C stdio — the bench binaries' output path is
+  /// stdio-only so table rows never interleave badly with their printf logs.
+  void print() const;
 
   /// Formats a double with `precision` decimals.
   static std::string num(double value, int precision = 4);

@@ -1,0 +1,121 @@
+#include "sim/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ctc::sim {
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  std::vector<std::thread> workers;
+
+  // Current job. `generation` bumps once per parallel_for so workers can
+  // tell a fresh job from the one they just finished.
+  const std::function<void(std::size_t)>* job = nullptr;
+  std::size_t job_count = 0;
+  std::atomic<std::size_t> next_index{0};
+  std::size_t workers_remaining = 0;
+  std::uint64_t generation = 0;
+  std::exception_ptr error;
+  bool stop = false;
+
+  // Claims indices until the job is exhausted. First exception wins and
+  // fast-forwards the counter so every thread drains quickly.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next_index.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job_count) return;
+      try {
+        (*job)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        next_index.store(job_count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+      }
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--workers_remaining == 0) work_done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : impl_(std::make_unique<Impl>()), threads_(resolve_threads(threads)) {
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (impl_->workers.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = &fn;
+    impl_->job_count = count;
+    impl_->next_index.store(0, std::memory_order_relaxed);
+    impl_->workers_remaining = impl_->workers.size();
+    impl_->error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+  impl_->drain();  // the calling thread is a full participant
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->work_done.wait(lock, [&] { return impl_->workers_remaining == 0; });
+    impl_->job = nullptr;
+    error = impl_->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("CTC_THREADS")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+}  // namespace ctc::sim

@@ -1,0 +1,50 @@
+// Fixed-size worker pool for data-parallel index loops.
+//
+// The Monte Carlo driver (sim::TrialEngine) distributes independent frame
+// trials over this pool. Index-to-thread assignment is dynamic (an atomic
+// work counter), which balances uneven trial costs; determinism is the
+// engine's job — it derives each trial's randomness from the trial index,
+// never from the executing thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace ctc::sim {
+
+class ThreadPool {
+ public:
+  /// Spawns `resolve_threads(threads) - 1` workers (the calling thread
+  /// participates in every loop, so `threads == 1` spawns none and runs
+  /// strictly inline).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism including the calling thread.
+  std::size_t size() const { return threads_; }
+
+  /// Runs `fn(i)` for every i in [0, count) across the pool and blocks
+  /// until all indices finish. Callers must not depend on which thread
+  /// runs which index. If invocations throw, one of the exceptions is
+  /// rethrown here after the loop drains; the remaining indices may be
+  /// skipped.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Thread-count policy shared by the engine and the bench CLI:
+  /// `requested` if nonzero, else the CTC_THREADS environment variable if
+  /// set to a positive integer, else std::thread::hardware_concurrency()
+  /// (minimum 1).
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t threads_ = 1;
+};
+
+}  // namespace ctc::sim

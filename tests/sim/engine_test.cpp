@@ -1,0 +1,153 @@
+// TrialEngine contract tests: the aggregate of a run is a pure function of
+// (seed, trial count, trial body) — the thread count must never show
+// through. These are the determinism guarantees the bench CLI layer and the
+// CI threads=1 vs threads=4 JSON diff rely on.
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "dsp/require.h"
+#include "sim/defense_run.h"
+#include "sim/link.h"
+#include "sim/metrics.h"
+#include "sim/thread_pool.h"
+#include "zigbee/app.h"
+
+namespace ctc::sim {
+namespace {
+
+struct SumAggregator {
+  std::vector<std::uint64_t> values;
+  void add(std::uint64_t value) { values.push_back(value); }
+};
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 13) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsPrefersExplicitRequest) {
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+}
+
+TEST(TrialEngineTest, ReducesInTrialOrderRegardlessOfThreads) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    TrialEngine engine({1234, threads});
+    const auto agg = engine.run<SumAggregator>(
+        100, [](std::size_t index, dsp::Rng&) {
+          return static_cast<std::uint64_t>(index);
+        });
+    ASSERT_EQ(agg.values.size(), 100u);
+    for (std::size_t i = 0; i < agg.values.size(); ++i) {
+      EXPECT_EQ(agg.values[i], i);
+    }
+  }
+}
+
+TEST(TrialEngineTest, StreamsDependOnlyOnSeedAndIndex) {
+  TrialEngine one({99, 1});
+  TrialEngine eight({99, 8});
+  const auto draws1 = one.map(64, [](std::size_t, dsp::Rng& rng) {
+    return rng.next_u64();
+  });
+  const auto draws8 = eight.map(64, [](std::size_t, dsp::Rng& rng) {
+    return rng.next_u64();
+  });
+  EXPECT_EQ(draws1, draws8);
+}
+
+TEST(TrialEngineTest, ConsecutiveRunsUseFreshStreams) {
+  TrialEngine engine({77, 2});
+  const auto first = engine.map(16, [](std::size_t, dsp::Rng& rng) {
+    return rng.next_u64();
+  });
+  const auto second = engine.map(16, [](std::size_t, dsp::Rng& rng) {
+    return rng.next_u64();
+  });
+  EXPECT_NE(first, second);
+
+  // ...but a fresh engine with the same seed replays the same run sequence.
+  TrialEngine replay({77, 5});
+  EXPECT_EQ(replay.map(16, [](std::size_t, dsp::Rng& rng) {
+    return rng.next_u64();
+  }), first);
+}
+
+TEST(TrialEngineTest, NamedStreamIsDeterministic) {
+  TrialEngine a({5, 1});
+  TrialEngine b({5, 4});
+  dsp::Rng ra = a.stream(3);
+  dsp::Rng rb = b.stream(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(ra.next_u64(), rb.next_u64());
+}
+
+TEST(TrialEngineTest, RejectsOversizedRuns) {
+  TrialEngine engine({1, 1});
+  EXPECT_THROW(
+      engine.run<SumAggregator>(
+          static_cast<std::size_t>(TrialEngine::kMaxTrialsPerRun) + 1,
+          [](std::size_t, dsp::Rng&) { return std::uint64_t{0}; }),
+      ContractError);
+}
+
+TEST(TrialEngineTest, FrameStatsBitIdenticalAcrossThreadCounts) {
+  const auto frames = zigbee::make_text_workload(4);
+  LinkConfig config;
+  config.environment = channel::Environment::awgn(2.0);  // noisy: rng matters
+  const Link link(config);
+
+  TrialEngine serial({20190707, 1});
+  TrialEngine parallel({20190707, 8});
+  const FrameStats a = run_frames(link, frames, 12, serial);
+  const FrameStats b = run_frames(link, frames, 12, parallel);
+
+  EXPECT_EQ(a.frames_sent, b.frames_sent);
+  EXPECT_EQ(a.frames_ok, b.frames_ok);
+  EXPECT_EQ(a.symbols_sent, b.symbols_sent);
+  EXPECT_EQ(a.symbol_errors, b.symbol_errors);
+  EXPECT_EQ(a.hamming_histogram, b.hamming_histogram);
+}
+
+TEST(TrialEngineTest, DefenseSamplesBitIdenticalAcrossThreadCounts) {
+  const auto frames = zigbee::make_text_workload(4);
+  LinkConfig config;
+  config.kind = LinkKind::emulated;
+  config.environment = channel::Environment::awgn(8.0);
+  const Link link(config);
+  const defense::Detector detector;
+
+  TrialEngine serial({20190707, 1});
+  TrialEngine parallel({20190707, 8});
+  const DefenseSamples a = collect_defense_samples(link, frames, 10, detector, serial);
+  const DefenseSamples b = collect_defense_samples(link, frames, 10, detector, parallel);
+
+  EXPECT_EQ(a.frames_used, b.frames_used);
+  EXPECT_EQ(a.frames_skipped, b.frames_skipped);
+  EXPECT_EQ(a.distances, b.distances);  // element-wise double equality
+  EXPECT_EQ(a.c40, b.c40);
+  EXPECT_EQ(a.c42, b.c42);
+}
+
+}  // namespace
+}  // namespace ctc::sim
