@@ -103,6 +103,6 @@ int main(int argc, char** argv) {
 
   report.set("bins_success_rate", bins_success);
   report.set("alpha_success_rate", alpha_success);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

@@ -110,6 +110,6 @@ int main(int argc, char** argv) {
   report.set("emulated_per", emu_pers);
   report.set("authentic_mean_de2", auth_means);
   report.set("emulated_mean_de2", emu_means);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

@@ -128,6 +128,6 @@ int main(int argc, char** argv) {
   report.set("tap_gap", tap_gap);
   report.set("roc_false_alarm", roc_false_alarm);
   report.set("roc_missed", roc_missed);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

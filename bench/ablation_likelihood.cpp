@@ -118,6 +118,6 @@ int main(int argc, char** argv) {
   report.set("cumulant_total", static_cast<std::size_t>(cumulants.total));
   report.set("likelihood_correct", static_cast<std::size_t>(likelihood.correct));
   report.set("likelihood_total", static_cast<std::size_t>(likelihood.total));
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

@@ -133,6 +133,6 @@ int main(int argc, char** argv) {
               "Sec. VI is the specialization of this classifier.\n");
 
   report.set("confusion_diagonal_fraction", diagonal_fraction);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

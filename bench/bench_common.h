@@ -5,6 +5,12 @@
 //   --trials=N    override the bench's per-point trial counts
 //   --threads=N   worker threads (default: CTC_THREADS env, then hardware)
 //   --json        append a one-line machine-readable report to stdout
+//   --telemetry   enable the sim::telemetry layer: print a per-stage
+//                 counter/timing summary and embed the deterministic subset
+//                 (no wall-clock timers) in the --json report
+//   --telemetry-out=FILE
+//                 also write the full telemetry JSON (including timing
+//                 histograms) to FILE; implies --telemetry
 //
 // Flags also accept the two-argument form (`--seed 7`). The human-readable
 // output always prints; with --json the LAST line of stdout is a single
@@ -31,6 +37,7 @@
 
 #include "sim/engine.h"
 #include "sim/table.h"
+#include "sim/telemetry.h"
 #include "sim/thread_pool.h"
 
 namespace ctc::bench {
@@ -43,6 +50,12 @@ struct Options {
   std::size_t threads = 0;            ///< 0 = auto (CTC_THREADS, hardware)
   std::optional<std::size_t> trials;  ///< overrides per-bench trial counts
   bool json = false;                  ///< emit the machine-readable report
+  bool telemetry = false;             ///< enable the sim::telemetry layer
+  std::string telemetry_out;          ///< full telemetry JSON file (or empty)
+
+  bool telemetry_enabled() const {
+    return telemetry || !telemetry_out.empty();
+  }
 
   /// The trial count a bench should use where it defaults to `fallback`.
   std::size_t trials_or(std::size_t fallback) const {
@@ -90,6 +103,10 @@ inline Options parse_options(int argc, char** argv) {
     const char* value = nullptr;
     if (std::strcmp(argv[i], "--json") == 0) {
       options.json = true;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      options.telemetry = true;
+    } else if (detail::flag_value(argc, argv, i, "--telemetry-out", &value)) {
+      options.telemetry_out = value;
     } else if (detail::flag_value(argc, argv, i, "--seed", &value)) {
       options.seed = detail::parse_u64(value, "--seed");
     } else if (detail::flag_value(argc, argv, i, "--threads", &value)) {
@@ -102,11 +119,16 @@ inline Options parse_options(int argc, char** argv) {
                std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: %s [--seed=N] [--trials=N] [--threads=N] [--json]\n"
+          "          [--telemetry] [--telemetry-out=FILE]\n"
           "  --seed=N     RNG seed (default %" PRIu64 ")\n"
           "  --trials=N   override the bench's per-point trial counts\n"
           "  --threads=N  worker threads (default: CTC_THREADS, then "
           "hardware)\n"
-          "  --json       print a one-line JSON report as the last line\n",
+          "  --json       print a one-line JSON report as the last line\n"
+          "  --telemetry  per-stage counters/timings; embeds the\n"
+          "               deterministic subset in the --json report\n"
+          "  --telemetry-out=FILE  write full telemetry JSON (with timing\n"
+          "               histograms) to FILE; implies --telemetry\n",
           argv[0], kDefaultSeed);
       std::exit(0);
     } else {
@@ -114,6 +136,7 @@ inline Options parse_options(int argc, char** argv) {
       std::exit(2);
     }
   }
+  sim::telemetry::set_enabled(options.telemetry_enabled());
   return options;
 }
 
@@ -142,10 +165,12 @@ inline void section(const char* title) { std::printf("\n--- %s ---\n", title); }
 class JsonReport {
  public:
   JsonReport(const Options& options, const char* bench_name)
-      : enabled_(options.json) {
+      : enabled_(options.json), bench_name_(bench_name) {
     set("bench", bench_name);
     set("seed", options.seed);
   }
+
+  const std::string& bench_name() const { return bench_name_; }
 
   void set(const std::string& key, const std::string& value) {
     fields_.emplace_back(key, quote(value));
@@ -172,6 +197,10 @@ class JsonReport {
     }
     rendered += "]";
     fields_.emplace_back(key, std::move(rendered));
+  }
+  /// Splices a pre-rendered JSON value (object/array) in as-is.
+  void set_json(const std::string& key, std::string raw_json) {
+    fields_.emplace_back(key, std::move(raw_json));
   }
 
   /// Prints the report as one line iff --json was given. Call last: the
@@ -205,7 +234,94 @@ class JsonReport {
   }
 
   bool enabled_;
+  std::string bench_name_;
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+namespace detail {
+
+/// Pretty-prints a nanosecond quantity with a unit that keeps 3-4 digits.
+inline std::string format_ns(double ns) {
+  char buffer[48];
+  if (ns < 1e3) {
+    std::snprintf(buffer, sizeof buffer, "%.0f ns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buffer, sizeof buffer, "%.2f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buffer, sizeof buffer, "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.2f s", ns / 1e9);
+  }
+  return buffer;
+}
+
+inline std::string format_metric_number(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+}  // namespace detail
+
+/// Prints the per-stage telemetry summary as a table: one row per metric,
+/// timers rendered in human time units, histograms with their mean/max.
+inline void print_telemetry_summary(
+    const std::vector<sim::telemetry::MetricValue>& metrics) {
+  section("telemetry (per-stage counters & timings)");
+  if (metrics.empty()) {
+    std::printf("no telemetry recorded\n");
+    return;
+  }
+  sim::Table table({"stage", "metric", "kind", "count", "total", "mean",
+                    "min", "max"});
+  for (const auto& metric : metrics) {
+    const auto& cell = metric.cell;
+    const double mean =
+        cell.count > 0 ? cell.sum / static_cast<double>(cell.count) : 0.0;
+    const bool is_timer = metric.kind == sim::telemetry::Kind::timer;
+    auto value = [&](double v) {
+      return is_timer ? detail::format_ns(v) : detail::format_metric_number(v);
+    };
+    table.add_row({metric.stage, metric.name,
+                   sim::telemetry::kind_name(metric.kind),
+                   std::to_string(cell.count), value(cell.sum), value(mean),
+                   value(cell.min), value(cell.max)});
+  }
+  table.print();
+}
+
+/// Telemetry emission + report printing, shared by every bench `main`. Call
+/// in place of `report.print()` as the last output statement:
+///   * with --telemetry, prints the human-readable per-stage summary and
+///     embeds the deterministic (timer-free) telemetry subset in the --json
+///     report, so the CI determinism diff covers telemetry too;
+///   * with --telemetry-out=FILE, also writes the full schema (including
+///     wall-clock timing histograms) to FILE;
+///   * always ends by printing the one-line JSON report (when --json).
+inline void finish(JsonReport& report, const Options& options) {
+  if (options.telemetry_enabled()) {
+    const auto metrics = sim::telemetry::collect();
+    print_telemetry_summary(metrics);
+    report.set_json("telemetry", sim::telemetry::to_json(
+                                     metrics, /*include_timers=*/false));
+    if (!options.telemetry_out.empty()) {
+      char extra[128];
+      std::snprintf(extra, sizeof extra, "\"bench\":\"%s\",\"seed\":%" PRIu64 ",",
+                    report.bench_name().c_str(), options.seed);
+      const std::string full =
+          sim::telemetry::to_json(metrics, /*include_timers=*/true, extra);
+      if (std::FILE* file = std::fopen(options.telemetry_out.c_str(), "w")) {
+        std::fputs(full.c_str(), file);
+        std::fputc('\n', file);
+        std::fclose(file);
+        std::printf("\ntelemetry written to %s\n", options.telemetry_out.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write telemetry to %s\n",
+                     options.telemetry_out.c_str());
+      }
+    }
+  }
+  report.print();
+}
 
 }  // namespace ctc::bench

@@ -71,6 +71,6 @@ int main(int argc, char** argv) {
   report.set("authentic_c42", auth_c42);
   report.set("emulated_c40", emu_c40);
   report.set("emulated_c42", emu_c42);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

@@ -82,6 +82,6 @@ int main(int argc, char** argv) {
   report.set("emulated_min_de2", emu_min);
   report.set("false_alarms", false_alarm_counts);
   report.set("missed_attacks", missed_counts);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

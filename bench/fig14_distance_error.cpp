@@ -62,6 +62,6 @@ int main(int argc, char** argv) {
       "   the original waveform degrades at 8 m; emulated error >= original.\n"
       " * CC26x2R1: both links below 0.1 error even at 8 m (stronger demod).\n"
       " * PER >= SER everywhere (a packet fails if any symbol fails).\n");
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

@@ -81,6 +81,6 @@ int main(int argc, char** argv) {
   report.set("body_nmse", body_error / body_energy);
   report.set("whole_frame_nmse", (cp_error + body_error) / (cp_energy + body_energy));
   report.set("nmse_4mhz", dsp::nmse(observed, result.emulated_4mhz));
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

@@ -61,6 +61,6 @@ int main(int argc, char** argv) {
   report.set("emulated_fraction_by_distance", emu_fraction);
   report.set("authentic_frames_ok", authentic.frames_ok);
   report.set("emulated_frames_ok", emulated.frames_ok);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

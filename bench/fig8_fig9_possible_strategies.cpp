@@ -134,6 +134,6 @@ int main(int argc, char** argv) {
   report.set("chips_compared", chips);
   report.set("auth_frame_ok", auth_result.frame_ok() ? "yes" : "no");
   report.set("emu_frame_ok", emu_result.frame_ok() ? "yes" : "no");
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

@@ -58,6 +58,22 @@ int main(int argc, char** argv) {
   const double wide_ms = time_run(wide_engine, link, frames, trials, &wide_stats);
   const double speedup = serial_ms / wide_ms;
 
+  // Telemetry overhead: the same wide run with the layer forced off vs on,
+  // min of two runs per mode so scheduler noise doesn't swamp the few-ns
+  // per-macro cost. The acceptance bar is "enabled within 3% of disabled";
+  // the JSON records the measured ratio so the trajectory tracks it.
+  const bool telemetry_was_enabled = sim::telemetry::enabled();
+  auto timed_with_telemetry = [&](bool on) {
+    sim::telemetry::set_enabled(on);
+    const double first = time_run(wide_engine, link, frames, trials, nullptr);
+    const double second = time_run(wide_engine, link, frames, trials, nullptr);
+    return std::min(first, second);
+  };
+  const double telem_off_ms = timed_with_telemetry(false);
+  const double telem_on_ms = timed_with_telemetry(true);
+  sim::telemetry::set_enabled(telemetry_was_enabled);
+  const double telem_overhead = telem_on_ms / telem_off_ms;
+
   const bool identical = serial_stats.frames_ok == wide_stats.frames_ok &&
                          serial_stats.symbol_errors == wide_stats.symbol_errors &&
                          serial_stats.hamming_histogram == wide_stats.hamming_histogram;
@@ -74,6 +90,9 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\naggregates bit-identical across thread counts: %s\n",
               identical ? "yes" : "NO (determinism bug!)");
+  std::printf("telemetry overhead (enabled/disabled wall time): %.3fx "
+              "(%.1f ms -> %.1f ms)\n",
+              telem_overhead, telem_off_ms, telem_on_ms);
 
   bench::JsonReport report(options, "perf_engine");
   report.set("trials", trials);
@@ -82,6 +101,9 @@ int main(int argc, char** argv) {
   report.set("wall_ms_wide", wide_ms);
   report.set("speedup", speedup);
   report.set("aggregates_identical", identical ? "yes" : "no");
-  report.print();
+  report.set("telemetry_off_ms", telem_off_ms);
+  report.set("telemetry_on_ms", telem_on_ms);
+  report.set("telemetry_overhead", telem_overhead);
+  bench::finish(report, options);
   return identical ? 0 : 1;
 }

@@ -59,6 +59,6 @@ int main(int argc, char** argv) {
   report.set("fraction_pm_1mhz", frac_1p0);
   report.set("fraction_7_subcarriers", frac_7sc);
   report.set("fraction_attack_band_20mhz", frac_band);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

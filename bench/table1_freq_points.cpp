@@ -58,6 +58,6 @@ int main(int argc, char** argv) {
 
   bench::JsonReport report(options, "table1_freq_points");
   report.set("chosen_bins_1based", chosen);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

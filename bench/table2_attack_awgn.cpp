@@ -53,6 +53,6 @@ int main(int argc, char** argv) {
   report.set("snr_db", snrs);
   report.set("attack_success_rate", attack_success);
   report.set("authentic_success_rate", authentic_success);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

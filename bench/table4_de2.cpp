@@ -62,6 +62,6 @@ int main(int argc, char** argv) {
   report.set("authentic_mean_de2", auth_mean);
   report.set("emulated_mean_de2", emu_mean);
   report.set("calibrated_threshold", threshold);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

@@ -85,6 +85,6 @@ int main(int argc, char** argv) {
   report.set("emulated_mean_de2", emu_mean);
   report.set("authentic_max_mean", auth_max);
   report.set("emulated_min_mean", emu_min);
-  report.print();
+  bench::finish(report, options);
   return 0;
 }

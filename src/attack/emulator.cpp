@@ -5,6 +5,7 @@
 #include "dsp/fft.h"
 #include "dsp/require.h"
 #include "dsp/resample.h"
+#include "sim/telemetry.h"
 #include "wifi/ofdm.h"
 
 namespace ctc::attack {
@@ -69,6 +70,8 @@ cvec WaveformEmulator::emulate_symbol(std::span<const cplx> slot80,
 
 EmulationResult WaveformEmulator::emulate(std::span<const cplx> observed_4mhz) const {
   CTC_REQUIRE_MSG(!observed_4mhz.empty(), "nothing to emulate");
+  CTC_TELEM_TIMER("attack", "emulate");
+  CTC_TELEM_COUNT("attack", "frames", 1);
   EmulationResult result;
 
   // Step 1: interpolate to the WiFi sample rate.
@@ -114,7 +117,19 @@ EmulationResult WaveformEmulator::emulate(std::span<const cplx> observed_4mhz) c
                                       symbol.begin(), symbol.end());
     result.diagnostics.push_back(diagnostics);
     result.symbol_grids.push_back(std::move(grid));
+    // The paper's three distortion sources (Sec. V), one metric each: the
+    // 0.8 us head each symbol sacrifices to the cyclic prefix, the OFDM
+    // bins zeroed by subcarrier truncation, and the energy the 64-QAM grid
+    // snap discards.
+    CTC_TELEM_COUNT("attack", "symbols", 1);
+    CTC_TELEM_COUNT("attack", "cp_samples_overwritten", kCp);
+    CTC_TELEM_COUNT("attack", "subcarriers_dropped",
+                    kFft - result.kept_bins.size());
+    CTC_TELEM_GAUGE("attack", "qam_error_energy",
+                    diagnostics.quantization_error);
+    CTC_TELEM_GAUGE("attack", "truncated_energy", diagnostics.discarded_energy);
   }
+  CTC_TELEM_GAUGE("attack", "alpha", alpha);
 
   // What the ZigBee front end sees: 2 MHz channel filter + decimation.
   result.emulated_4mhz = dsp::decimate(result.wifi_waveform_20mhz, config_.interpolation);

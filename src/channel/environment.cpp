@@ -3,6 +3,7 @@
 #include "channel/awgn.h"
 #include "channel/impairments.h"
 #include "dsp/stats.h"
+#include "sim/telemetry.h"
 
 namespace ctc::channel {
 
@@ -11,10 +12,16 @@ double Environment::effective_snr_db() const {
 }
 
 cvec Environment::propagate(std::span<const cplx> signal, dsp::Rng& rng) const {
+  CTC_TELEM_TIMER("channel", "propagate");
+  CTC_TELEM_COUNT("channel", "frames", 1);
+  CTC_TELEM_COUNT("channel", "samples", signal.size());
+  CTC_TELEM_GAUGE("channel", "snr_db", effective_snr_db());
   cvec current(signal.begin(), signal.end());
   if (multipath) {
+    CTC_TELEM_COUNT("channel", "multipath_fades", 1);
     current = apply_multipath(current, draw_multipath_taps(*multipath, rng));
   } else if (rician_k_factor) {
+    CTC_TELEM_COUNT("channel", "rician_fades", 1);
     current = apply_flat_fading(current, rician_tap(*rician_k_factor, rng));
   }
   const double phase =

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/require.h"
+#include "sim/telemetry.h"
 
 namespace ctc::defense {
 
@@ -18,6 +19,8 @@ Detector::Detector(DetectorConfig config) : config_(config) {
 }
 
 Feature Detector::feature_from_points(std::span<const cplx> points) const {
+  CTC_TELEM_COUNT("defense", "cumulant_evals", 1);
+  CTC_TELEM_COUNT("defense", "constellation_points", points.size());
   const CumulantEstimates estimates = estimate_cumulants(points);
   const cplx c40 = estimates.normalized_c40(config_.noise_variance);
   Feature feature;
@@ -32,10 +35,19 @@ Feature Detector::feature_from_chips(std::span<const double> soft_chips) const {
 }
 
 Verdict Detector::classify(std::span<const double> soft_chips) const {
+  CTC_TELEM_TIMER("defense", "classify");
   Verdict verdict;
   verdict.feature = feature_from_chips(soft_chips);
   verdict.distance_sq = verdict.feature.distance_sq();
   verdict.is_attack = verdict.distance_sq >= config_.threshold;
+  // Two sites, not one ternary name: the macros cache the metric id per
+  // call site, so the name must be a per-site constant.
+  if (verdict.is_attack) {
+    CTC_TELEM_COUNT("defense", "verdict_attack", 1);
+  } else {
+    CTC_TELEM_COUNT("defense", "verdict_authentic", 1);
+  }
+  CTC_TELEM_GAUGE("defense", "distance_sq", verdict.distance_sq);
   return verdict;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dsp/require.h"
+#include "sim/telemetry.h"
 
 namespace ctc::defense {
 
@@ -36,6 +37,7 @@ StreamingDetector::StreamingDetector(DetectorConfig config) : config_(config) {
 }
 
 void StreamingDetector::push_chips(std::span<const double> soft_chips) {
+  CTC_TELEM_COUNT("defense", "streaming_chips", soft_chips.size());
   const cplx rotation = config_.builder.rotate_to_axes
                             ? cplx{std::sqrt(0.5), -std::sqrt(0.5)}
                             : cplx{1.0, 0.0};
@@ -53,6 +55,7 @@ std::optional<Verdict> StreamingDetector::verdict(std::size_t min_points) const 
   if (cumulants_.count() < std::max<std::size_t>(min_points, 4)) {
     return std::nullopt;
   }
+  CTC_TELEM_COUNT("defense", "cumulant_evals", 1);
   const CumulantEstimates estimates = cumulants_.estimates();
   const cplx c40 = estimates.normalized_c40(config_.noise_variance);
   Verdict verdict;
@@ -67,6 +70,11 @@ std::optional<Verdict> StreamingDetector::verdict(std::size_t min_points) const 
 void StreamingDetector::reset() {
   cumulants_.reset();
   pending_chip_.reset();
+}
+
+void StreamingDetector::begin_frame() {
+  CTC_TELEM_COUNT("defense", "streaming_frames", 1);
+  reset();
 }
 
 }  // namespace ctc::defense

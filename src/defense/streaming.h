@@ -39,9 +39,26 @@ class StreamingCumulants {
 };
 
 /// Online version of Detector: feed soft chips in any block sizes.
+///
+/// The detector is STATEFUL across push_chips() calls: the running cumulant
+/// sums and a held odd chip (`pending_chip_`) persist until reset. That is
+/// the point within one frame — but reusing one instance across frames
+/// without an explicit boundary silently contaminates the next verdict in
+/// two ways: (a) the new frame's points average into the old frame's
+/// cumulants, and (b) a leftover odd chip from frame N pairs with the FIRST
+/// chip of frame N+1, producing a constellation point that belongs to
+/// neither frame. Call begin_frame() at every frame boundary; batch-style
+/// users that classify whole frames should prefer defense::Detector, which
+/// is stateless across calls.
 class StreamingDetector {
  public:
   explicit StreamingDetector(DetectorConfig config = {});
+
+  /// Marks a frame boundary: discards the running cumulants AND any held
+  /// odd chip so the next verdict reflects only the new frame. Equivalent
+  /// to reset() today; call this (not reset()) at boundaries so intent
+  /// survives if per-frame bookkeeping is added later.
+  void begin_frame();
 
   /// Consumes chips (odd leftovers are held until the pair completes).
   void push_chips(std::span<const double> soft_chips);
@@ -53,7 +70,8 @@ class StreamingDetector {
   /// have been consumed.
   std::optional<Verdict> verdict(std::size_t min_points = 4) const;
 
-  /// Clears all state (start of a new frame).
+  /// Clears all state. Same effect as begin_frame(); kept for callers that
+  /// mean "discard everything" rather than "next frame starts here".
   void reset();
 
   const DetectorConfig& config() const { return config_; }

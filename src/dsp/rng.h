@@ -52,6 +52,25 @@ class Rng {
   /// already exist. This is what gives Monte Carlo trials scheduling-
   /// independent randomness: trial i always draws from
   /// `for_stream(seed, i)` no matter which thread runs it or in what order.
+  ///
+  /// Stream-ID scheme (the repo-wide convention, used by sim::TrialEngine):
+  ///
+  ///     stream_id = (run_index << 32) | trial_index
+  ///
+  /// The high 32 bits hold the engine's per-run counter (incremented every
+  /// time run()/run_into() is called on an engine), the low 32 bits the
+  /// trial index within that run. Consequences worth relying on:
+  ///   * the k-th run of the j-th trial is addressable without knowing how
+  ///     many draws earlier trials consumed — no sequence splitting;
+  ///   * two benches with the same --seed replay identical randomness run
+  ///     for run, which is what makes the CI determinism diff meaningful;
+  ///   * a single engine supports up to 2^32 runs of 2^32 trials each
+  ///     before ids could collide.
+  /// Engine run counters start at 0, so the engine's very first run owns
+  /// the plain ids 0..count-1. Anything deriving streams outside an engine
+  /// (tests, ad-hoc tools) should therefore use its own seed, or fork()
+  /// from an engine-provided generator, rather than hand-picking stream
+  /// ids that an engine sharing the seed would also hand out.
   static Rng for_stream(std::uint64_t seed, std::uint64_t stream_id);
 
   /// Advances this generator by 2^128 steps (the xoshiro256++ jump

@@ -58,6 +58,11 @@ DefenseSamples collect_defense_samples(const Link& link,
                                        const defense::Detector& detector,
                                        TrialEngine& engine, DefenseTap tap) {
   CTC_REQUIRE(!frames.empty());
+  // Sharing one `detector` across all trials (and worker threads) is safe:
+  // the batch defense::Detector holds only its immutable config, so no
+  // counter or cumulant state can leak between trials. A StreamingDetector
+  // would NOT be safe here — it accumulates across push_chips() calls and
+  // needs begin_frame() at every frame boundary (see defense/streaming.h).
   return engine.run<DefenseSamples>(count, [&](std::size_t i, dsp::Rng& rng) {
     return observe_defense_frame(link, frames[i % frames.size()], detector, rng,
                                  tap);

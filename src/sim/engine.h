@@ -28,6 +28,7 @@
 
 #include "dsp/require.h"
 #include "dsp/rng.h"
+#include "sim/telemetry.h"
 #include "sim/thread_pool.h"
 
 namespace ctc::sim {
@@ -71,16 +72,31 @@ class TrialEngine {
     const std::uint64_t base = next_run_base();
     const std::size_t block = block_size(count);
     std::vector<std::optional<Result>> slots(block);
+    // Telemetry piggybacks on the same order contract as the results: each
+    // trial's metrics are captured into a per-slot snapshot on the worker
+    // and committed below in trial-index order, so double-valued telemetry
+    // sums are bit-identical at any thread count (see sim/telemetry.h).
+    std::vector<telemetry::TrialSnapshot> telemetry_slots(
+        telemetry::enabled() ? block : 0);
     for (std::size_t start = 0; start < count; start += block) {
       const std::size_t batch = std::min(block, count - start);
       pool_->parallel_for(batch, [&](std::size_t k) {
         const std::size_t index = start + k;
         dsp::Rng rng = dsp::Rng::for_stream(config_.seed, base | index);
-        slots[k].emplace(trial(index, rng));
+        telemetry::TrialScope scope;
+        {
+          CTC_TELEM_TIMER("engine", "trial");
+          CTC_TELEM_COUNT("engine", "trials", 1);
+          slots[k].emplace(trial(index, rng));
+        }
+        if (k < telemetry_slots.size()) telemetry_slots[k] = scope.capture();
       });
       for (std::size_t k = 0; k < batch; ++k) {
         aggregator.add(std::move(*slots[k]));
         slots[k].reset();
+        if (k < telemetry_slots.size()) {
+          telemetry::commit(std::move(telemetry_slots[k]));
+        }
       }
     }
   }

@@ -2,6 +2,7 @@
 
 #include "dsp/require.h"
 #include "dsp/stats.h"
+#include "sim/telemetry.h"
 #include "wifi/interleaver.h"
 #include "wifi/ofdm.h"
 #include "wifi/scrambler.h"
@@ -61,6 +62,9 @@ std::size_t WifiTransmitter::num_data_symbols(std::size_t psdu_bytes) const {
 }
 
 cvec WifiTransmitter::transmit(std::span<const std::uint8_t> psdu) const {
+  CTC_TELEM_TIMER("wifi_tx", "transmit");
+  CTC_TELEM_COUNT("wifi_tx", "frames", 1);
+  CTC_TELEM_COUNT("wifi_tx", "psdu_bytes", psdu.size());
   const std::size_t dbps = data_bits_per_symbol(config_.mcs);
   const std::size_t cbps = coded_bits_per_symbol(config_.mcs);
   const Modulation modulation = mcs_modulation(config_.mcs);

@@ -4,6 +4,7 @@
 
 #include "dsp/require.h"
 #include "dsp/resample.h"
+#include "sim/telemetry.h"
 #include "zigbee/dsss.h"
 #include "zigbee/transmitter.h"
 
@@ -47,6 +48,8 @@ Receiver::Receiver(ReceiverConfig config)
 }
 
 ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
+  CTC_TELEM_TIMER("zigbee_rx", "receive");
+  CTC_TELEM_COUNT("zigbee_rx", "frames", 1);
   ReceiveResult result;
   const std::size_t spc = config_.samples_per_chip;
   const std::size_t shr_chips = kShrSymbols * kChipsPerSymbol;
@@ -145,6 +148,7 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
   if (!sfd_low.accepted || sfd_low.symbol != (kSfd & 0x0F)) shr_ok = false;
   if (!sfd_high.accepted || sfd_high.symbol != (kSfd >> 4)) shr_ok = false;
   result.shr_ok = shr_ok;
+  if (shr_ok) CTC_TELEM_COUNT("zigbee_rx", "shr_ok", 1);
 
   // PHR: frame length.
   const auto& len_low = header_symbols[kShrSymbols];
@@ -159,6 +163,7 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
     return result;
   }
   result.phr_ok = true;
+  CTC_TELEM_COUNT("zigbee_rx", "phr_ok", 1);
 
   // Pass 2: the whole frame, so differential chip boundaries carry across
   // the PHR/PSDU seam.
@@ -174,6 +179,9 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
   symbol_values.reserve(all_symbols.size() - kHeaderSymbols);
   for (std::size_t s = kHeaderSymbols; s < all_symbols.size(); ++s) {
     result.hamming_distances.push_back(all_symbols[s].distance);
+    // The statistic of the paper's Fig. 7: chip Hamming distance of the
+    // best-matching sequence, per PSDU symbol.
+    CTC_TELEM_HISTO("zigbee_rx", "symbol_hamming", all_symbols[s].distance);
     if (!all_symbols[s].accepted) result.psdu_complete = false;
     symbol_values.push_back(all_symbols[s].symbol);
   }
@@ -181,6 +189,7 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
   if (result.psdu_complete) {
     result.mac = MacFrame::parse(result.psdu);
   }
+  if (result.frame_ok()) CTC_TELEM_COUNT("zigbee_rx", "frames_ok", 1);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include "dsp/require.h"
 #include "dsp/stats.h"
+#include "sim/telemetry.h"
 #include "zigbee/dsss.h"
 
 namespace ctc::zigbee {
@@ -19,9 +20,13 @@ std::vector<std::uint8_t> Transmitter::chips_for_psdu(
 }
 
 cvec Transmitter::transmit_psdu(std::span<const std::uint8_t> psdu) const {
+  CTC_TELEM_TIMER("zigbee_tx", "transmit");
   const auto chips = chips_for_psdu(psdu);
   cvec waveform = modulator_.modulate(chips);
   if (config_.normalize_power) waveform = dsp::normalize_power(waveform);
+  CTC_TELEM_COUNT("zigbee_tx", "frames", 1);
+  CTC_TELEM_COUNT("zigbee_tx", "chips", chips.size());
+  CTC_TELEM_COUNT("zigbee_tx", "samples", waveform.size());
   return waveform;
 }
 

@@ -110,5 +110,41 @@ TEST(StreamingDetectorTest, ResetStartsANewFrame) {
   EXPECT_FALSE(streaming.verdict().has_value());
 }
 
+// Regression for the cross-frame reuse hazard: without a frame boundary the
+// second frame's verdict mixes the first frame's cumulants, and a held odd
+// chip pairs across the boundary. begin_frame() must make a reused detector
+// bit-identical to a freshly constructed one.
+TEST(StreamingDetectorTest, BeginFrameIsolatesFramesExactly) {
+  dsp::Rng rng(334);
+  rvec frame_a(257);  // odd on purpose: leaves a pending chip held
+  rvec frame_b(512);
+  for (auto& c : frame_a) c = (rng.bit() ? 1.0 : -1.0) + 0.3 * rng.gaussian();
+  for (auto& c : frame_b) c = (rng.bit() ? 1.0 : -1.0) + 0.3 * rng.gaussian();
+
+  StreamingDetector fresh;
+  fresh.push_chips(frame_b);
+  const Verdict expected = *fresh.verdict();
+
+  // Reused WITHOUT a boundary: frame A's 128 points and its held odd chip
+  // contaminate frame B's verdict.
+  StreamingDetector contaminated;
+  contaminated.push_chips(frame_a);
+  contaminated.push_chips(frame_b);
+  EXPECT_EQ(contaminated.points(), (257 + 512) / 2u);
+  EXPECT_NE(contaminated.verdict()->distance_sq, expected.distance_sq);
+
+  // Reused WITH begin_frame(): bit-identical to the fresh detector.
+  StreamingDetector reused;
+  reused.push_chips(frame_a);
+  reused.begin_frame();
+  EXPECT_EQ(reused.points(), 0u);
+  reused.push_chips(frame_b);
+  EXPECT_EQ(reused.points(), frame_b.size() / 2);
+  const Verdict isolated = *reused.verdict();
+  EXPECT_DOUBLE_EQ(isolated.feature.c40, expected.feature.c40);
+  EXPECT_DOUBLE_EQ(isolated.feature.c42, expected.feature.c42);
+  EXPECT_DOUBLE_EQ(isolated.distance_sq, expected.distance_sq);
+}
+
 }  // namespace
 }  // namespace ctc::defense

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Append bench JSON reports to a trajectory file and gate on regressions.
+
+The bench binaries emit a one-line JSON report with ``--json`` (and a richer
+telemetry document with ``--telemetry-out``).  This tool maintains the
+machine-readable *trajectory* of those reports across CI runs so throughput
+changes are visible over time, and fails the build when the latest
+``perf_engine`` run regresses too far.
+
+Subcommands
+-----------
+append   Read one run report (a file whose last non-empty line is the JSON
+         object a bench printed) and append it to the trajectory file::
+
+             ./build/bench/perf_engine --trials=120 --json | tail -n1 > run.json
+             python3 tools/bench_trajectory.py append \
+                 --run run.json --trajectory BENCH_telemetry.json --label "$SHA"
+
+check    Gate: compute perf_engine throughput (trials / wall_ms_wide) for
+         every run in the trajectory and compare the latest against the best
+         earlier run.  Exits non-zero when the latest throughput dropped by
+         more than ``--max-regression`` (default 0.25, i.e. >25% slower)::
+
+             python3 tools/bench_trajectory.py check --trajectory BENCH_telemetry.json
+
+The trajectory file is a single JSON object ``{"trajectory_schema": 1,
+"runs": [...]}``; each entry is ``{"label": ..., "report": {...}}`` where
+``report`` is the bench's JSON verbatim.  Fewer than two perf_engine entries
+(a fresh trajectory, or a cache miss in CI) passes trivially.
+
+Standard library only — no third-party imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TRAJECTORY_SCHEMA = 1
+
+
+def _load_trajectory(path: Path) -> dict:
+    if not path.exists():
+        return {"trajectory_schema": TRAJECTORY_SCHEMA, "runs": []}
+    with path.open(encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "runs" not in data:
+        raise SystemExit(f"{path}: not a trajectory file (missing 'runs')")
+    schema = data.get("trajectory_schema")
+    if schema != TRAJECTORY_SCHEMA:
+        raise SystemExit(f"{path}: unsupported trajectory_schema {schema!r}")
+    return data
+
+
+def _load_run_report(path: Path) -> dict:
+    """Parse the last non-empty line of ``path`` as a bench JSON report."""
+    lines = [line for line in path.read_text(encoding="utf-8").splitlines()
+             if line.strip()]
+    if not lines:
+        raise SystemExit(f"{path}: empty run file")
+    try:
+        report = json.loads(lines[-1])
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"{path}: last line is not JSON: {error}") from error
+    if not isinstance(report, dict) or "bench" not in report:
+        raise SystemExit(f"{path}: report has no 'bench' field")
+    return report
+
+
+def cmd_append(args: argparse.Namespace) -> int:
+    trajectory_path = Path(args.trajectory)
+    trajectory = _load_trajectory(trajectory_path)
+    report = _load_run_report(Path(args.run))
+    label = args.label if args.label else f"run-{len(trajectory['runs'])}"
+    trajectory["runs"].append({"label": label, "report": report})
+    trajectory_path.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8")
+    print(f"appended {report['bench']} run '{label}' "
+          f"({len(trajectory['runs'])} total) to {trajectory_path}")
+    return 0
+
+
+def _perf_throughput(report: dict) -> float | None:
+    """trials / wall_ms_wide for a perf_engine report, else None."""
+    if report.get("bench") != "perf_engine":
+        return None
+    trials = report.get("trials")
+    wall_ms = report.get("wall_ms_wide")
+    if not isinstance(trials, (int, float)) or not isinstance(wall_ms, (int, float)):
+        return None
+    if wall_ms <= 0:
+        return None
+    return float(trials) / float(wall_ms)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    trajectory = _load_trajectory(Path(args.trajectory))
+    perf_runs = [(entry.get("label", "?"), throughput)
+                 for entry in trajectory["runs"]
+                 if (throughput := _perf_throughput(entry.get("report", {})))
+                 is not None]
+    if len(perf_runs) < 2:
+        print(f"only {len(perf_runs)} perf_engine run(s) in trajectory; "
+              "nothing to compare — pass")
+        return 0
+
+    latest_label, latest = perf_runs[-1]
+    best_label, best = max(perf_runs[:-1], key=lambda item: item[1])
+    drop = 1.0 - latest / best
+    print(f"perf_engine throughput (trials/ms): latest '{latest_label}' = "
+          f"{latest:.3f}, best earlier '{best_label}' = {best:.3f} "
+          f"({drop:+.1%} regression)")
+    if drop > args.max_regression:
+        print(f"FAIL: throughput dropped {drop:.1%} > "
+              f"{args.max_regression:.0%} allowed", file=sys.stderr)
+        return 1
+    print("pass")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    append = sub.add_parser("append", help="append a run report to the trajectory")
+    append.add_argument("--run", required=True,
+                        help="file whose last line is the bench --json report")
+    append.add_argument("--trajectory", required=True,
+                        help="trajectory JSON file (created if missing)")
+    append.add_argument("--label", default="",
+                        help="label for this run (default: run-<index>)")
+    append.set_defaults(func=cmd_append)
+
+    check = sub.add_parser("check", help="fail on perf_engine throughput regression")
+    check.add_argument("--trajectory", required=True)
+    check.add_argument("--max-regression", type=float, default=0.25,
+                       help="maximum tolerated fractional drop (default 0.25)")
+    check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
