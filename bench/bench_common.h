@@ -51,6 +51,7 @@ struct Options {
   std::optional<std::size_t> trials;  ///< overrides per-bench trial counts
   bool json = false;                  ///< emit the machine-readable report
   bool telemetry = false;             ///< enable the sim::telemetry layer
+  bool dry_run = false;               ///< print resolved config JSON, exit 0
   std::string telemetry_out;          ///< full telemetry JSON file (or empty)
 
   bool telemetry_enabled() const {
@@ -95,6 +96,40 @@ inline std::uint64_t parse_u64(const char* text, const char* flag) {
   return static_cast<std::uint64_t>(value);
 }
 
+/// --dry-run: print the fully resolved run configuration (seed, trials,
+/// thread count after CTC_THREADS/hardware resolution, telemetry settings)
+/// as one JSON line and exit 0 without constructing an engine or running
+/// any trials. Lets scripts and CI validate flag plumbing cheaply.
+[[noreturn]] inline void print_dry_run_and_exit(const Options& options,
+                                                const char* bench_name) {
+  auto quoted = [](const std::string& text) {
+    std::string out = "\"";
+    for (char c : text) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::printf("{\"bench\":%s,\"dry_run\":true,\"seed\":%" PRIu64 ",\"trials\":",
+              quoted(bench_name).c_str(), options.seed);
+  if (options.trials) {
+    std::printf("%zu", *options.trials);
+  } else {
+    std::fputs("null", stdout);
+  }
+  std::printf(",\"threads\":%zu,\"json\":%s,\"telemetry\":%s,\"telemetry_out\":",
+              sim::ThreadPool::resolve_threads(options.threads),
+              options.json ? "true" : "false",
+              options.telemetry_enabled() ? "true" : "false");
+  if (options.telemetry_out.empty()) {
+    std::fputs("null}\n", stdout);
+  } else {
+    std::printf("%s}\n", quoted(options.telemetry_out).c_str());
+  }
+  std::exit(0);
+}
+
 }  // namespace detail
 
 inline Options parse_options(int argc, char** argv) {
@@ -103,6 +138,8 @@ inline Options parse_options(int argc, char** argv) {
     const char* value = nullptr;
     if (std::strcmp(argv[i], "--json") == 0) {
       options.json = true;
+    } else if (std::strcmp(argv[i], "--dry-run") == 0) {
+      options.dry_run = true;
     } else if (std::strcmp(argv[i], "--telemetry") == 0) {
       options.telemetry = true;
     } else if (detail::flag_value(argc, argv, i, "--telemetry-out", &value)) {
@@ -119,12 +156,14 @@ inline Options parse_options(int argc, char** argv) {
                std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: %s [--seed=N] [--trials=N] [--threads=N] [--json]\n"
-          "          [--telemetry] [--telemetry-out=FILE]\n"
+          "          [--dry-run] [--telemetry] [--telemetry-out=FILE]\n"
           "  --seed=N     RNG seed (default %" PRIu64 ")\n"
           "  --trials=N   override the bench's per-point trial counts\n"
           "  --threads=N  worker threads (default: CTC_THREADS, then "
           "hardware)\n"
           "  --json       print a one-line JSON report as the last line\n"
+          "  --dry-run    print the resolved run configuration as one JSON\n"
+          "               line and exit without running any trials\n"
           "  --telemetry  per-stage counters/timings; embeds the\n"
           "               deterministic subset in the --json report\n"
           "  --telemetry-out=FILE  write full telemetry JSON (with timing\n"
@@ -142,6 +181,7 @@ inline Options parse_options(int argc, char** argv) {
 
 /// Prints the bench banner for benches with no Monte Carlo loop (no engine).
 inline void print_banner(const Options& options, const char* bench_name) {
+  if (options.dry_run) detail::print_dry_run_and_exit(options, bench_name);
   std::printf("=== %s ===\n", bench_name);
   std::printf("seed: %" PRIu64 "\n\n", options.seed);
 }
@@ -149,6 +189,7 @@ inline void print_banner(const Options& options, const char* bench_name) {
 /// Prints the bench banner and builds the trial engine the bench runs on.
 inline sim::TrialEngine make_engine(const Options& options,
                                     const char* bench_name) {
+  if (options.dry_run) detail::print_dry_run_and_exit(options, bench_name);
   sim::TrialEngine engine({options.seed, options.threads});
   std::printf("=== %s ===\n", bench_name);
   std::printf("seed: %" PRIu64 "   threads: %zu\n\n", options.seed,

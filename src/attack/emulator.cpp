@@ -1,6 +1,8 @@
 #include "attack/emulator.h"
 
 #include <cmath>
+#include <string>
+#include <unordered_map>
 
 #include "dsp/fft.h"
 #include "dsp/require.h"
@@ -105,14 +107,44 @@ EmulationResult WaveformEmulator::emulate(std::span<const cplx> observed_4mhz) c
     alpha = optimize_scale(pooled);
   }
 
-  // Per-symbol emulation.
-  result.wifi_waveform_20mhz.reserve(upsampled.size());
-  for (std::size_t start = 0; start + kSlot <= upsampled.size(); start += kSlot) {
+  // Per-symbol emulation. The DSSS chip alphabet repeats, so identical slots
+  // recur throughout the frame; memoize on the exact slot samples (alpha and
+  // kept_bins are fixed per frame, so the slot fully determines the output).
+  struct SlotResult {
+    cvec symbol;
     SymbolDiagnostics diagnostics;
     cvec grid;
-    const cvec symbol = emulate_symbol(
-        std::span<const cplx>(upsampled).subspan(start, kSlot), result.kept_bins,
-        alpha, &diagnostics, &grid);
+  };
+  std::unordered_map<std::string, SlotResult> lut;
+  result.wifi_waveform_20mhz.reserve(upsampled.size());
+  for (std::size_t start = 0; start + kSlot <= upsampled.size(); start += kSlot) {
+    const auto slot = std::span<const cplx>(upsampled).subspan(start, kSlot);
+    const SlotResult* cached = nullptr;
+    if (config_.memoize) {
+      std::string key(reinterpret_cast<const char*>(slot.data()),
+                      kSlot * sizeof(cplx));
+      auto it = lut.find(key);
+      if (it != lut.end()) {
+        CTC_TELEM_COUNT("attack", "lut_hits", 1);
+        cached = &it->second;
+      } else {
+        CTC_TELEM_COUNT("attack", "lut_misses", 1);
+        SlotResult fresh;
+        fresh.symbol = emulate_symbol(slot, result.kept_bins, alpha,
+                                      &fresh.diagnostics, &fresh.grid);
+        cached = &lut.emplace(std::move(key), std::move(fresh)).first->second;
+      }
+    }
+    SymbolDiagnostics diagnostics;
+    cvec symbol;
+    cvec grid;
+    if (cached != nullptr) {
+      diagnostics = cached->diagnostics;
+      symbol = cached->symbol;
+      grid = cached->grid;
+    } else {
+      symbol = emulate_symbol(slot, result.kept_bins, alpha, &diagnostics, &grid);
+    }
     result.wifi_waveform_20mhz.insert(result.wifi_waveform_20mhz.end(),
                                       symbol.begin(), symbol.end());
     result.diagnostics.push_back(diagnostics);

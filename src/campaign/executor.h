@@ -1,0 +1,54 @@
+// Campaign executor: sharded, resumable sweep execution on sim::TrialEngine.
+//
+// Execution model:
+//   * the planner's unit list is the single source of truth; units are
+//     filtered by `index % shards == shard` when a shard is pinned;
+//   * every unit runs its Monte Carlo trials on the engine after
+//     seek_run(unit.run_index), so results are bit-identical for a fixed
+//     seed at ANY thread count, shard count, or kill/resume partition;
+//   * after each unit the manifest checkpoint is atomically rewritten —
+//     a killed campaign resumes exactly where it stopped;
+//   * once every unit is complete the experiment's stage reductions and
+//     final report run, and the artifact store writes report.json (for
+//     ported benches: byte-identical to the bench's --json line),
+//     cells.csv (one row per unit) and optionally telemetry.json.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "campaign/plan.h"
+#include "campaign/spec.h"
+
+namespace ctc::campaign {
+
+class CampaignError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ExecutorOptions {
+  std::string out_dir;                ///< artifact + manifest directory
+  std::size_t threads = 0;            ///< engine threads (0 = auto)
+  std::size_t shards = 1;             ///< total shard count (partition modulus)
+  std::optional<std::size_t> shard;   ///< run only units of this shard
+  std::size_t max_units = 0;          ///< stop after N units this run (0 = all)
+  bool telemetry = false;             ///< collect + write telemetry.json
+  bool quiet = false;                 ///< suppress per-unit progress lines
+};
+
+struct CampaignOutcome {
+  bool complete = false;        ///< all units done, report written
+  std::size_t units_total = 0;
+  std::size_t units_run = 0;    ///< executed by this invocation
+  std::size_t units_done = 0;   ///< cumulative (manifest)
+  std::string report_json;      ///< the merged report line (when complete)
+};
+
+/// Runs (or resumes) `spec` under `options`. Throws CampaignError for
+/// option/manifest problems and propagates SpecError for plan problems.
+CampaignOutcome run_campaign(const CampaignSpec& spec,
+                             const ExecutorOptions& options);
+
+}  // namespace ctc::campaign

@@ -1,0 +1,315 @@
+#include "campaign/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "channel/environment.h"
+#include "defense/detector.h"
+#include "sim/defense_run.h"
+#include "sim/link.h"
+#include "sim/metrics.h"
+#include "zigbee/app.h"
+
+namespace ctc::campaign {
+
+namespace {
+
+std::string unit_id(std::size_t index, std::string_view role,
+                    const CampaignSpec::Cell& cell) {
+  char prefix[16];
+  std::snprintf(prefix, sizeof prefix, "u%04zu", index);
+  std::string id = std::string(prefix) + "." + std::string(role);
+  const std::string label = cell.label();
+  if (!label.empty()) id += "." + label;
+  return id;
+}
+
+void require_axes(const CampaignSpec& spec,
+                  std::initializer_list<std::string_view> allowed) {
+  for (const GridAxis& axis : spec.grid) {
+    if (std::find(allowed.begin(), allowed.end(), axis.name) == allowed.end()) {
+      std::string known;
+      for (std::string_view name : allowed) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      throw SpecError("spec: experiment does not understand axis '" +
+                      axis.name + "' (supported: " + known + ")");
+    }
+  }
+}
+
+std::vector<double> distances_of(const Json& unit_result) {
+  std::vector<double> distances;
+  for (const Json& value : unit_result.at("distances").as_array()) {
+    distances.push_back(value.as_number());
+  }
+  return distances;
+}
+
+// -- attack_success ---------------------------------------------------------
+//
+// The bench/table2_attack_awgn sweep as data: per grid cell, one emulated
+// link unit and one authentic link unit, exactly the run order (and hence
+// RNG stream consumption) of the bench's SNR loop.
+class AttackSuccessExperiment final : public Experiment {
+ public:
+  std::string_view name() const override { return "attack_success"; }
+
+  void check_spec(const CampaignSpec& spec) const override {
+    require_axes(spec, {"snr_db", "trials", "alpha"});
+  }
+
+  std::size_t num_stages(const CampaignSpec&) const override { return 1; }
+
+  std::vector<WorkUnit> plan_stage(const CampaignSpec& spec,
+                                   std::size_t stage) const override {
+    std::vector<WorkUnit> units;
+    if (stage != 0) return units;
+    std::size_t index = 0;
+    for (const CampaignSpec::Cell& cell : spec.cells()) {
+      for (const char* role : {"attack", "authentic"}) {
+        WorkUnit unit;
+        unit.index = index;
+        unit.stage = 0;
+        unit.run_index = index;
+        unit.role = role;
+        unit.cell = cell;
+        const std::uint64_t fallback =
+            unit.role == "attack" ? spec.trials : spec.authentic_trials;
+        unit.trials = static_cast<std::size_t>(cell.uint_or("trials", fallback));
+        unit.id = unit_id(index, role, cell);
+        units.push_back(std::move(unit));
+        ++index;
+      }
+    }
+    return units;
+  }
+
+  Json run_unit(const CampaignSpec& spec, const WorkUnit& unit, const Json&,
+                sim::TrialEngine& engine) const override {
+    sim::LinkConfig config;
+    config.kind = unit.role == "attack" ? sim::LinkKind::emulated
+                                        : sim::LinkKind::authentic;
+    config.environment =
+        channel::Environment::awgn(unit.cell.number_or("snr_db", 17.0));
+    if (const Json* alpha = unit.cell.find("alpha")) {
+      config.emulator.alpha = alpha->as_number();
+    } else if (spec.alpha) {
+      config.emulator.alpha = *spec.alpha;
+    }
+    const auto frames =
+        zigbee::make_text_workload(static_cast<unsigned>(spec.workload_frames));
+    const sim::FrameStats stats =
+        sim::run_frames(sim::Link(config), frames, unit.trials, engine);
+
+    Json result = Json::object();
+    result.set("frames", Json(stats.frames_sent));
+    result.set("successes", Json(stats.frames_ok));
+    result.set("symbols", Json(stats.symbols_sent));
+    result.set("symbol_errors", Json(stats.symbol_errors));
+    result.set("success_rate", Json(stats.success_rate()));
+    return result;
+  }
+
+  Json final_report(const CampaignSpec& spec,
+                    const std::vector<std::vector<const Json*>>& results_by_stage,
+                    const Json&) const override {
+    const std::vector<const Json*>& units = results_by_stage.at(0);
+    Json snrs = Json::array();
+    Json attack = Json::array();
+    Json authentic = Json::array();
+    const auto cells = spec.cells();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      snrs.push_back(Json(cells[i].number_or("snr_db", 17.0)));
+      attack.push_back(Json(units.at(2 * i)->at("success_rate").as_number()));
+      authentic.push_back(
+          Json(units.at(2 * i + 1)->at("success_rate").as_number()));
+    }
+    // Field-for-field the bench/table2_attack_awgn --json line.
+    Json report = Json::object();
+    report.set("bench", Json(spec.name));
+    report.set("seed", Json(spec.seed));
+    report.set("frames_per_point", Json(spec.trials));
+    report.set("snr_db", std::move(snrs));
+    report.set("attack_success_rate", std::move(attack));
+    report.set("authentic_success_rate", std::move(authentic));
+    return report;
+  }
+};
+
+// -- threshold_sweep --------------------------------------------------------
+//
+// The bench/fig12_threshold pipeline as data: a training stage (per cell,
+// authentic + emulated defense samples) that calibrates the decision
+// threshold Q at its stage barrier, then a test stage whose units score
+// held-out frames against Q. When the spec pins "threshold", the training
+// stage is skipped and test units start at run index 0.
+class ThresholdSweepExperiment final : public Experiment {
+ public:
+  std::string_view name() const override { return "threshold_sweep"; }
+
+  void check_spec(const CampaignSpec& spec) const override {
+    require_axes(spec, {"snr_db"});
+  }
+
+  std::size_t num_stages(const CampaignSpec& spec) const override {
+    return spec.threshold ? 1 : 2;
+  }
+
+  Json initial_state(const CampaignSpec& spec) const override {
+    Json state = Json::object();
+    if (spec.threshold) state.set("threshold", Json(*spec.threshold));
+    return state;
+  }
+
+  std::vector<WorkUnit> plan_stage(const CampaignSpec& spec,
+                                   std::size_t stage) const override {
+    const bool calibrating = !spec.threshold.has_value();
+    const bool train_stage = calibrating && stage == 0;
+    std::vector<WorkUnit> units;
+    const auto cells = spec.cells();
+    // Test units consume run indices after every training unit, mirroring
+    // the bench's run order (train loop first, then the test loop).
+    std::size_t index = train_stage || !calibrating ? 0 : cells.size() * 2;
+    for (const CampaignSpec::Cell& cell : cells) {
+      for (const char* side : {"authentic", "emulated"}) {
+        WorkUnit unit;
+        unit.index = index;
+        unit.stage = stage;
+        unit.run_index = index;
+        unit.role = std::string(train_stage ? "train_" : "test_") + side;
+        unit.cell = cell;
+        unit.trials = train_stage ? spec.train_trials : spec.test_trials;
+        unit.id = unit_id(index, unit.role, cell);
+        units.push_back(std::move(unit));
+        ++index;
+      }
+    }
+    return units;
+  }
+
+  Json run_unit(const CampaignSpec& spec, const WorkUnit& unit,
+                const Json& state, sim::TrialEngine& engine) const override {
+    sim::LinkConfig config;
+    config.kind = unit.role.ends_with("emulated") ? sim::LinkKind::emulated
+                                                  : sim::LinkKind::authentic;
+    config.environment =
+        channel::Environment::awgn(unit.cell.number_or("snr_db", 17.0));
+    if (spec.alpha) config.emulator.alpha = *spec.alpha;
+
+    defense::DetectorConfig detector_config;
+    if (unit.role.starts_with("test_")) {
+      detector_config.threshold = state.at("threshold").as_number();
+    }
+    const defense::Detector detector(detector_config);
+    const auto frames =
+        zigbee::make_text_workload(static_cast<unsigned>(spec.workload_frames));
+    const sim::DefenseSamples samples = sim::collect_defense_samples(
+        sim::Link(config), frames, unit.trials, detector, engine);
+
+    Json distances = Json::array();
+    for (double d : samples.distances) distances.push_back(Json(d));
+    Json result = Json::object();
+    result.set("frames_used", Json(samples.frames_used));
+    result.set("frames_skipped", Json(samples.frames_skipped));
+    if (samples.frames_used > 0) {
+      result.set("mean_de2", Json(samples.mean_distance()));
+    }
+    result.set("distances", std::move(distances));
+    return result;
+  }
+
+  Json reduce_stage(const CampaignSpec& spec, std::size_t stage,
+                    const std::vector<const Json*>& unit_results,
+                    Json state) const override {
+    if (spec.threshold || stage != 0) return state;
+    // Pool the training distances per class in plan (== bench) order and
+    // calibrate the midpoint threshold, exactly like bench/fig12_threshold.
+    std::vector<double> authentic, emulated;
+    for (std::size_t i = 0; i < unit_results.size(); i += 2) {
+      const auto a = distances_of(*unit_results[i]);
+      const auto e = distances_of(*unit_results[i + 1]);
+      authentic.insert(authentic.end(), a.begin(), a.end());
+      emulated.insert(emulated.end(), e.begin(), e.end());
+    }
+    state.set("threshold",
+              Json(defense::Detector::calibrate_threshold(authentic, emulated)));
+    return state;
+  }
+
+  Json final_report(const CampaignSpec& spec,
+                    const std::vector<std::vector<const Json*>>& results_by_stage,
+                    const Json& state) const override {
+    const double threshold = state.at("threshold").as_number();
+    const std::vector<const Json*>& test_units = results_by_stage.back();
+    Json snrs = Json::array();
+    Json auth_max = Json::array();
+    Json emu_min = Json::array();
+    Json false_alarms = Json::array();
+    Json missed = Json::array();
+    const auto cells = spec.cells();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto a = distances_of(*test_units.at(2 * i));
+      const auto e = distances_of(*test_units.at(2 * i + 1));
+      if (a.empty() || e.empty()) {
+        throw SpecError("spec: no usable defense frames in cell " +
+                        std::to_string(i));
+      }
+      std::size_t alarms = 0;
+      for (double d : a) alarms += d >= threshold;
+      std::size_t misses = 0;
+      for (double d : e) misses += d < threshold;
+      snrs.push_back(Json(cells[i].number_or("snr_db", 17.0)));
+      auth_max.push_back(Json(*std::max_element(a.begin(), a.end())));
+      emu_min.push_back(Json(*std::min_element(e.begin(), e.end())));
+      false_alarms.push_back(Json(static_cast<double>(alarms)));
+      missed.push_back(Json(static_cast<double>(misses)));
+    }
+    // Field-for-field the bench/fig12_threshold --json line.
+    Json report = Json::object();
+    report.set("bench", Json(spec.name));
+    report.set("seed", Json(spec.seed));
+    report.set("threshold", Json(threshold));
+    report.set("snr_db", std::move(snrs));
+    report.set("authentic_max_de2", std::move(auth_max));
+    report.set("emulated_min_de2", std::move(emu_min));
+    report.set("false_alarms", std::move(false_alarms));
+    report.set("missed_attacks", std::move(missed));
+    return report;
+  }
+};
+
+const AttackSuccessExperiment g_attack_success;
+const ThresholdSweepExperiment g_threshold_sweep;
+const Experiment* const g_experiments[] = {&g_attack_success,
+                                           &g_threshold_sweep};
+
+}  // namespace
+
+Json Experiment::initial_state(const CampaignSpec&) const {
+  return Json::object();
+}
+
+Json Experiment::reduce_stage(const CampaignSpec&, std::size_t,
+                              const std::vector<const Json*>&,
+                              Json state) const {
+  return state;
+}
+
+const Experiment* find_experiment(std::string_view name) {
+  for (const Experiment* experiment : g_experiments) {
+    if (experiment->name() == name) return experiment;
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> experiment_names() {
+  std::vector<std::string_view> names;
+  for (const Experiment* experiment : g_experiments) {
+    names.push_back(experiment->name());
+  }
+  return names;
+}
+
+}  // namespace ctc::campaign

@@ -1,0 +1,65 @@
+// On-disk campaign checkpoint: the resume manifest.
+//
+// The executor checkpoints after every completed work unit by rewriting
+// `manifest.json` in the campaign output directory through the classic
+// crash-safe sequence: write to a temp file in the same directory, fsync
+// the file, rename() over the target, fsync the directory. A campaign
+// killed at any point therefore resumes from the last completed unit with
+// no torn or half-written state, and — because unit randomness is keyed by
+// planner-assigned run indices, not execution order — the resumed run's
+// aggregates are bit-identical to an uninterrupted one.
+//
+// The manifest is bound to its spec by a fingerprint over the canonical
+// spec JSON, so resuming with a modified spec is rejected instead of
+// silently mixing incompatible partial results.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/json.h"
+#include "campaign/spec.h"
+
+namespace ctc::campaign {
+
+class ManifestError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct CompletedUnit {
+  std::string id;
+  std::size_t index = 0;
+  Json result;
+};
+
+struct Manifest {
+  static constexpr std::int64_t kSchemaVersion = 1;
+
+  std::string campaign;     ///< spec name
+  std::string fingerprint;  ///< spec_fingerprint() of the owning spec
+  std::size_t units_total = 0;
+  std::vector<CompletedUnit> completed;  ///< in completion order
+
+  Json to_json() const;
+  static Manifest from_json(const Json& json);
+};
+
+/// FNV-1a 64 over the canonical spec JSON — the resume compatibility key.
+std::string spec_fingerprint(const CampaignSpec& spec);
+
+/// Atomically replaces `path` with the serialized manifest (temp file +
+/// fsync + rename + directory fsync). Throws ManifestError on I/O failure.
+void save_manifest(const Manifest& manifest, const std::string& path);
+
+/// Loads a manifest; std::nullopt when `path` does not exist. Throws
+/// ManifestError when the file exists but cannot be parsed.
+std::optional<Manifest> load_manifest(const std::string& path);
+
+/// Writes `content` + '\n' to `path` via the same atomic sequence (shared
+/// by the artifact store for report/CSV files).
+void write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace ctc::campaign

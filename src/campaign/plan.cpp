@@ -1,0 +1,43 @@
+#include "campaign/plan.h"
+
+namespace ctc::campaign {
+
+CampaignPlan plan_campaign(const CampaignSpec& spec) {
+  CampaignPlan plan;
+  plan.experiment = find_experiment(spec.experiment);
+  if (plan.experiment == nullptr) {
+    std::string known;
+    for (std::string_view name : experiment_names()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw SpecError("spec: unknown experiment '" + spec.experiment +
+                    "' (registered: " + known + ")");
+  }
+  plan.experiment->check_spec(spec);
+
+  const std::size_t stages = plan.experiment->num_stages(spec);
+  std::size_t expected_index = 0;
+  for (std::size_t stage = 0; stage < stages; ++stage) {
+    std::vector<WorkUnit> units = plan.experiment->plan_stage(spec, stage);
+    for (const WorkUnit& unit : units) {
+      if (unit.index != expected_index || unit.run_index != unit.index ||
+          unit.stage != stage) {
+        throw SpecError("spec: experiment '" + spec.experiment +
+                        "' planned non-sequential unit indices");
+      }
+      if (unit.trials == 0 || unit.id.empty()) {
+        throw SpecError("spec: experiment planned an empty unit");
+      }
+      ++expected_index;
+    }
+    plan.stages.push_back(std::move(units));
+  }
+  plan.units_total = expected_index;
+  if (plan.units_total == 0) {
+    throw SpecError("spec: campaign plans zero work units");
+  }
+  return plan;
+}
+
+}  // namespace ctc::campaign

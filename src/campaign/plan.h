@@ -1,0 +1,28 @@
+// Campaign planner: spec -> stages of work units with stable shard ids.
+//
+// Planning is pure (no I/O, no randomness): the same spec always yields the
+// same unit list, ids, and run indices. That invariant is what makes
+// sharding and resume sound — a unit's identity never depends on which
+// process, shard or attempt executes it.
+#pragma once
+
+#include <vector>
+
+#include "campaign/experiment.h"
+#include "campaign/spec.h"
+
+namespace ctc::campaign {
+
+struct CampaignPlan {
+  const Experiment* experiment = nullptr;
+  std::vector<std::vector<WorkUnit>> stages;
+  std::size_t units_total = 0;
+};
+
+/// Plans `spec` end to end. Throws SpecError for unknown experiments,
+/// unsupported axes, or a planner contract violation (unit indices must be
+/// globally sequential so `index == run_index` and `index % shards` are
+/// stable partition keys).
+CampaignPlan plan_campaign(const CampaignSpec& spec);
+
+}  // namespace ctc::campaign

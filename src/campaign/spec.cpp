@@ -1,0 +1,264 @@
+#include "campaign/spec.h"
+
+#include <cmath>
+
+namespace ctc::campaign {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw SpecError("spec: " + what); }
+
+void check_known_keys(const Json& object, std::string_view context,
+                      std::initializer_list<std::string_view> known) {
+  for (const auto& [key, value] : object.as_object()) {
+    bool ok = false;
+    for (std::string_view candidate : known) {
+      if (key == candidate) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) fail("unknown key '" + key + "' in " + std::string(context));
+  }
+}
+
+std::size_t parse_count(const Json& value, const char* key) {
+  if (!value.is_integer() || value.as_int() < 1) {
+    fail(std::string(key) + " must be a positive integer");
+  }
+  return static_cast<std::size_t>(value.as_int());
+}
+
+double parse_positive(const Json& value, const char* key) {
+  if (!value.is_number() || value.as_number() <= 0.0) {
+    fail(std::string(key) + " must be a positive number");
+  }
+  return value.as_number();
+}
+
+/// Expands {"start":a,"stop":b,"step":s} inclusively. Integer output when
+/// all three bounds are integer literals, double otherwise.
+std::vector<Json> expand_range(const Json& range) {
+  check_known_keys(range, "range", {"start", "stop", "step"});
+  const Json* start_ptr = range.find("start");
+  const Json* stop_ptr = range.find("stop");
+  const Json* step_ptr = range.find("step");
+  if (start_ptr == nullptr || stop_ptr == nullptr || step_ptr == nullptr) {
+    fail("range needs start, stop and step");
+  }
+  const Json& start = *start_ptr;
+  const Json& stop = *stop_ptr;
+  const Json& step = *step_ptr;
+  if (!start.is_number() || !stop.is_number() || !step.is_number()) {
+    fail("range start/stop/step must be numbers");
+  }
+  const double step_value = step.as_number();
+  if (step_value == 0.0) fail("range step must be nonzero");
+  const double span = stop.as_number() - start.as_number();
+  if (span / step_value < -1e-9) fail("range never reaches stop");
+  const std::size_t count =
+      static_cast<std::size_t>(std::floor(span / step_value + 1e-9)) + 1;
+  if (count > 100000) fail("range expands to more than 100000 values");
+
+  const bool integral =
+      start.is_integer() && stop.is_integer() && step.is_integer();
+  std::vector<Json> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (integral) {
+      values.emplace_back(start.as_int() +
+                          static_cast<std::int64_t>(i) * step.as_int());
+    } else {
+      values.emplace_back(start.as_number() +
+                          static_cast<double>(i) * step_value);
+    }
+  }
+  return values;
+}
+
+GridAxis parse_axis(const Json& entry) {
+  if (!entry.is_object()) fail("grid entries must be objects");
+  check_known_keys(entry, "grid entry", {"axis", "list", "range"});
+  GridAxis axis;
+  const Json* name = entry.find("axis");
+  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+    fail("grid entry needs a nonempty \"axis\" name");
+  }
+  axis.name = name->as_string();
+  const Json* list = entry.find("list");
+  const Json* range = entry.find("range");
+  if ((list != nullptr) == (range != nullptr)) {
+    fail("grid axis '" + axis.name + "' needs exactly one of \"list\"/\"range\"");
+  }
+  if (list != nullptr) {
+    if (!list->is_array() || list->as_array().empty()) {
+      fail("grid axis '" + axis.name + "' has an empty value list");
+    }
+    for (const Json& value : list->as_array()) {
+      if (!value.is_number()) {
+        fail("grid axis '" + axis.name + "' has a non-numeric value");
+      }
+      axis.values.push_back(value);
+    }
+  } else {
+    axis.values = expand_range(*range);
+  }
+  return axis;
+}
+
+}  // namespace
+
+std::string CampaignSpec::Cell::label() const {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += values[i].first + "=" + values[i].second.dump();
+  }
+  return out;
+}
+
+const Json* CampaignSpec::Cell::find(std::string_view axis) const {
+  for (const auto& [name, value] : values) {
+    if (name == axis) return &value;
+  }
+  return nullptr;
+}
+
+double CampaignSpec::Cell::number_or(std::string_view axis,
+                                     double fallback) const {
+  const Json* value = find(axis);
+  return value != nullptr ? value->as_number() : fallback;
+}
+
+std::uint64_t CampaignSpec::Cell::uint_or(std::string_view axis,
+                                          std::uint64_t fallback) const {
+  const Json* value = find(axis);
+  if (value == nullptr) return fallback;
+  if (!value->is_integer() || value->as_int() < 0) {
+    fail("axis '" + std::string(axis) + "' must hold non-negative integers");
+  }
+  return value->as_uint();
+}
+
+std::vector<CampaignSpec::Cell> CampaignSpec::cells() const {
+  std::size_t total = 1;
+  for (const GridAxis& axis : grid) total *= axis.values.size();
+  std::vector<Cell> cells;
+  cells.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    Cell cell;
+    cell.index = index;
+    // Row-major: the first axis varies slowest.
+    std::size_t remainder = index;
+    std::size_t block = total;
+    for (const GridAxis& axis : grid) {
+      block /= axis.values.size();
+      const std::size_t pick = remainder / block;
+      remainder %= block;
+      cell.values.emplace_back(axis.name, axis.values[pick]);
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+CampaignSpec CampaignSpec::from_json(const Json& json) {
+  if (!json.is_object()) fail("document must be a JSON object");
+  const Json* schema = json.find("schema");
+  if (schema == nullptr || !schema->is_integer()) {
+    fail("missing integer \"schema\" field");
+  }
+  if (schema->as_int() != kSchemaVersion) {
+    fail("unsupported schema version " + std::to_string(schema->as_int()) +
+         " (this build understands " + std::to_string(kSchemaVersion) + ")");
+  }
+  check_known_keys(json, "campaign spec",
+                   {"schema", "name", "experiment", "seed", "workload_frames",
+                    "trials", "authentic_trials", "train_trials", "test_trials",
+                    "threshold", "alpha", "grid"});
+
+  CampaignSpec spec;
+  const Json* name = json.find("name");
+  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+    fail("\"name\" must be a nonempty string");
+  }
+  spec.name = name->as_string();
+  const Json* experiment = json.find("experiment");
+  if (experiment == nullptr || !experiment->is_string() ||
+      experiment->as_string().empty()) {
+    fail("\"experiment\" must be a nonempty string");
+  }
+  spec.experiment = experiment->as_string();
+
+  if (const Json* seed = json.find("seed")) {
+    if (!seed->is_integer() || seed->as_int() < 0) {
+      fail("\"seed\" must be a non-negative integer");
+    }
+    spec.seed = seed->as_uint();
+  }
+  if (const Json* v = json.find("workload_frames")) {
+    spec.workload_frames = parse_count(*v, "workload_frames");
+  }
+  if (const Json* v = json.find("trials")) spec.trials = parse_count(*v, "trials");
+  if (const Json* v = json.find("authentic_trials")) {
+    spec.authentic_trials = parse_count(*v, "authentic_trials");
+  }
+  if (const Json* v = json.find("train_trials")) {
+    spec.train_trials = parse_count(*v, "train_trials");
+  }
+  if (const Json* v = json.find("test_trials")) {
+    spec.test_trials = parse_count(*v, "test_trials");
+  }
+  if (const Json* v = json.find("threshold")) {
+    spec.threshold = parse_positive(*v, "threshold");
+  }
+  if (const Json* v = json.find("alpha")) {
+    spec.alpha = parse_positive(*v, "alpha");
+  }
+
+  if (const Json* grid = json.find("grid")) {
+    if (!grid->is_array()) fail("\"grid\" must be an array of axis objects");
+    for (const Json& entry : grid->as_array()) {
+      GridAxis axis = parse_axis(entry);
+      for (const GridAxis& existing : spec.grid) {
+        if (existing.name == axis.name) {
+          fail("duplicate grid axis '" + axis.name + "'");
+        }
+      }
+      spec.grid.push_back(std::move(axis));
+    }
+  }
+  return spec;
+}
+
+CampaignSpec CampaignSpec::parse(std::string_view text) {
+  return from_json(Json::parse(text));
+}
+
+Json CampaignSpec::to_json() const {
+  Json out = Json::object();
+  out.set("schema", Json(kSchemaVersion));
+  out.set("name", Json(name));
+  out.set("experiment", Json(experiment));
+  out.set("seed", Json(seed));
+  out.set("workload_frames", Json(workload_frames));
+  out.set("trials", Json(trials));
+  out.set("authentic_trials", Json(authentic_trials));
+  out.set("train_trials", Json(train_trials));
+  out.set("test_trials", Json(test_trials));
+  if (threshold) out.set("threshold", Json(*threshold));
+  if (alpha) out.set("alpha", Json(*alpha));
+  Json grid_json = Json::array();
+  for (const GridAxis& axis : grid) {
+    Json entry = Json::object();
+    entry.set("axis", Json(axis.name));
+    Json list = Json::array();
+    for (const Json& value : axis.values) list.push_back(value);
+    entry.set("list", std::move(list));
+    grid_json.push_back(std::move(entry));
+  }
+  out.set("grid", std::move(grid_json));
+  return out;
+}
+
+}  // namespace ctc::campaign

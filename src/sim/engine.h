@@ -120,6 +120,24 @@ class TrialEngine {
     return dsp::Rng::for_stream(config_.seed, next_run_base() | trial_index);
   }
 
+  /// Sets the run family the NEXT run()/map()/stream() call draws from.
+  /// This is how the campaign executor replays an arbitrary slice of a
+  /// sequential bench: the planner assigns every work unit the run index
+  /// the bench's k-th engine call would have used, each executor seeks to
+  /// it before running the unit, and any shard/process/resume partition
+  /// therefore consumes exactly the sequential run's RNG streams. The
+  /// counter advances past the sought index as usual.
+  void seek_run(std::uint64_t run_index) {
+    CTC_REQUIRE(run_index <= kMaxRunIndex);
+    run_counter_ = run_index;
+  }
+
+  /// The run index the next run()/map()/stream() call will consume.
+  std::uint64_t next_run_index() const { return run_counter_; }
+
+  /// Run indices pack into the high 32 bits of the stream id.
+  static constexpr std::uint64_t kMaxRunIndex = (std::uint64_t{1} << 32) - 1;
+
   /// Trials per run() are capped so run index and trial index pack into one
   /// 64-bit stream id without overlap.
   static constexpr std::uint64_t kMaxTrialsPerRun = (std::uint64_t{1} << 32) - 1;

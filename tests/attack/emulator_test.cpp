@@ -6,6 +6,7 @@
 
 #include "dsp/require.h"
 #include "dsp/stats.h"
+#include "sim/telemetry.h"
 #include "zigbee/app.h"
 #include "zigbee/receiver.h"
 #include "zigbee/transmitter.h"
@@ -154,6 +155,50 @@ TEST(EmulatorTest, FewerBinsMeansMoreDiscardedEnergy) {
     return total;
   };
   EXPECT_GT(discarded(narrow), discarded(wide));
+}
+
+TEST(EmulatorTest, MemoizedOutputIsBitwiseIdenticalToUncached) {
+  EmulatorConfig cached_config;
+  cached_config.memoize = true;
+  EmulatorConfig uncached_config;
+  uncached_config.memoize = false;
+  const cvec observed = observed_waveform();
+  const EmulationResult cached = WaveformEmulator(cached_config).emulate(observed);
+  const EmulationResult uncached =
+      WaveformEmulator(uncached_config).emulate(observed);
+  EXPECT_EQ(cached.wifi_waveform_20mhz, uncached.wifi_waveform_20mhz);
+  EXPECT_EQ(cached.emulated_4mhz, uncached.emulated_4mhz);
+  EXPECT_EQ(cached.symbol_grids, uncached.symbol_grids);
+  EXPECT_EQ(cached.kept_bins, uncached.kept_bins);
+  ASSERT_EQ(cached.diagnostics.size(), uncached.diagnostics.size());
+  for (std::size_t n = 0; n < cached.diagnostics.size(); ++n) {
+    EXPECT_EQ(cached.diagnostics[n].alpha, uncached.diagnostics[n].alpha);
+    EXPECT_EQ(cached.diagnostics[n].quantization_error,
+              uncached.diagnostics[n].quantization_error);
+    EXPECT_EQ(cached.diagnostics[n].discarded_energy,
+              uncached.diagnostics[n].discarded_energy);
+  }
+}
+
+TEST(EmulatorTest, MemoizationHitsTheLutAndCountsIt) {
+  // A ZigBee frame cycles through 16 chip sequences, so a frame with many
+  // symbols must reuse slots: hits + misses == symbols, with plenty of hits.
+  sim::telemetry::reset();
+  sim::telemetry::set_enabled(true);
+  WaveformEmulator emulator;
+  const EmulationResult result = emulator.emulate(observed_waveform());
+  sim::telemetry::set_enabled(false);
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& metric : sim::telemetry::collect()) {
+    if (metric.stage != "attack") continue;
+    if (metric.name == "lut_hits") hits = metric.cell.count;
+    if (metric.name == "lut_misses") misses = metric.cell.count;
+  }
+  sim::telemetry::reset();
+  EXPECT_EQ(hits + misses, result.diagnostics.size());
+  EXPECT_LT(misses, result.diagnostics.size());
+  EXPECT_GT(hits, 0u);
 }
 
 TEST(EmulatorTest, SymbolLevelApiValidatesInput) {

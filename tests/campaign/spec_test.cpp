@@ -1,0 +1,187 @@
+#include "campaign/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ctc::campaign {
+namespace {
+
+std::string minimal_spec(const std::string& extra = "") {
+  return R"({"schema":1,"name":"t","experiment":"attack_success")" + extra + "}";
+}
+
+TEST(CampaignSpecTest, ParsesMinimalSpecWithDefaults) {
+  const CampaignSpec spec = CampaignSpec::parse(minimal_spec());
+  EXPECT_EQ(spec.name, "t");
+  EXPECT_EQ(spec.experiment, "attack_success");
+  EXPECT_EQ(spec.seed, 20190707u);
+  EXPECT_EQ(spec.trials, 1000u);
+  EXPECT_EQ(spec.authentic_trials, 200u);
+  EXPECT_EQ(spec.train_trials, 50u);
+  EXPECT_EQ(spec.test_trials, 100u);
+  EXPECT_EQ(spec.workload_frames, 100u);
+  EXPECT_FALSE(spec.threshold.has_value());
+  EXPECT_FALSE(spec.alpha.has_value());
+  EXPECT_TRUE(spec.grid.empty());
+}
+
+TEST(CampaignSpecTest, RejectsWrongSchemaVersion) {
+  EXPECT_THROW(
+      CampaignSpec::parse(R"({"schema":2,"name":"t","experiment":"e"})"),
+      SpecError);
+  EXPECT_THROW(CampaignSpec::parse(R"({"name":"t","experiment":"e"})"),
+               SpecError);
+  EXPECT_THROW(
+      CampaignSpec::parse(R"({"schema":"1","name":"t","experiment":"e"})"),
+      SpecError);
+}
+
+TEST(CampaignSpecTest, RejectsUnknownKeys) {
+  EXPECT_THROW(CampaignSpec::parse(minimal_spec(R"(,"trails":5)")), SpecError);
+  EXPECT_THROW(CampaignSpec::parse(minimal_spec(R"(,"snr":[1])")), SpecError);
+}
+
+TEST(CampaignSpecTest, RejectsBadFieldTypes) {
+  EXPECT_THROW(CampaignSpec::parse(R"({"schema":1,"name":"","experiment":"e"})"),
+               SpecError);
+  EXPECT_THROW(CampaignSpec::parse(R"({"schema":1,"name":"t","experiment":3})"),
+               SpecError);
+  EXPECT_THROW(CampaignSpec::parse(minimal_spec(R"(,"trials":0)")), SpecError);
+  EXPECT_THROW(CampaignSpec::parse(minimal_spec(R"(,"trials":2.5)")), SpecError);
+  EXPECT_THROW(CampaignSpec::parse(minimal_spec(R"(,"seed":-1)")), SpecError);
+  EXPECT_THROW(CampaignSpec::parse(minimal_spec(R"(,"threshold":0)")), SpecError);
+}
+
+TEST(CampaignSpecTest, RejectsDuplicateAxes) {
+  EXPECT_THROW(
+      CampaignSpec::parse(minimal_spec(
+          R"(,"grid":[{"axis":"snr_db","list":[1]},{"axis":"snr_db","list":[2]}])")),
+      SpecError);
+}
+
+TEST(CampaignSpecTest, RejectsEmptyOrAmbiguousAxisValues) {
+  EXPECT_THROW(
+      CampaignSpec::parse(minimal_spec(R"(,"grid":[{"axis":"a","list":[]}])")),
+      SpecError);
+  // Neither list nor range.
+  EXPECT_THROW(CampaignSpec::parse(minimal_spec(R"(,"grid":[{"axis":"a"}])")),
+               SpecError);
+  // Both list and range.
+  EXPECT_THROW(
+      CampaignSpec::parse(minimal_spec(
+          R"(,"grid":[{"axis":"a","list":[1],"range":{"start":0,"stop":1,"step":1}}])")),
+      SpecError);
+  // Non-numeric value.
+  EXPECT_THROW(
+      CampaignSpec::parse(minimal_spec(R"(,"grid":[{"axis":"a","list":["x"]}])")),
+      SpecError);
+}
+
+TEST(CampaignSpecTest, EmptyGridExpandsToOneUnparameterizedCell) {
+  const CampaignSpec spec = CampaignSpec::parse(minimal_spec());
+  const auto cells = spec.cells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].index, 0u);
+  EXPECT_TRUE(cells[0].values.empty());
+  EXPECT_EQ(cells[0].label(), "");
+}
+
+TEST(CampaignSpecTest, SingleValueAxisYieldsSingleCell) {
+  const CampaignSpec spec =
+      CampaignSpec::parse(minimal_spec(R"(,"grid":[{"axis":"snr_db","list":[7]}])"));
+  const auto cells = spec.cells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].label(), "snr_db=7");
+}
+
+TEST(CampaignSpecTest, CellsAreRowMajorFirstAxisOutermost) {
+  const CampaignSpec spec = CampaignSpec::parse(minimal_spec(
+      R"(,"grid":[{"axis":"a","list":[1,2]},{"axis":"b","list":[10,20,30]}])"));
+  const auto cells = spec.cells();
+  ASSERT_EQ(cells.size(), 6u);
+  const std::vector<std::string> expected = {"a=1,b=10", "a=1,b=20", "a=1,b=30",
+                                             "a=2,b=10", "a=2,b=20", "a=2,b=30"};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].label(), expected[i]);
+  }
+}
+
+TEST(CampaignSpecTest, RangeExpandsInclusivelyPreservingIntegers) {
+  const CampaignSpec spec = CampaignSpec::parse(minimal_spec(
+      R"(,"grid":[{"axis":"snr_db","range":{"start":7,"stop":17,"step":2}}])"));
+  ASSERT_EQ(spec.grid.size(), 1u);
+  const auto& values = spec.grid[0].values;
+  ASSERT_EQ(values.size(), 6u);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_TRUE(values[i].is_integer());
+    EXPECT_EQ(values[i].as_int(), 7 + static_cast<std::int64_t>(i) * 2);
+  }
+}
+
+TEST(CampaignSpecTest, RangeEdgeCases) {
+  // Single point: start == stop.
+  auto single = CampaignSpec::parse(minimal_spec(
+      R"(,"grid":[{"axis":"a","range":{"start":5,"stop":5,"step":1}}])"));
+  ASSERT_EQ(single.grid[0].values.size(), 1u);
+  EXPECT_EQ(single.grid[0].values[0].as_int(), 5);
+  // Descending with negative step.
+  auto down = CampaignSpec::parse(minimal_spec(
+      R"(,"grid":[{"axis":"a","range":{"start":3,"stop":1,"step":-1}}])"));
+  ASSERT_EQ(down.grid[0].values.size(), 3u);
+  EXPECT_EQ(down.grid[0].values[0].as_int(), 3);
+  EXPECT_EQ(down.grid[0].values[2].as_int(), 1);
+  // Fractional step yields doubles.
+  auto frac = CampaignSpec::parse(minimal_spec(
+      R"(,"grid":[{"axis":"a","range":{"start":0,"stop":1,"step":0.5}}])"));
+  ASSERT_EQ(frac.grid[0].values.size(), 3u);
+  EXPECT_FALSE(frac.grid[0].values[1].is_integer());
+  // Step that overshoots stop stays inclusive of start only.
+  auto coarse = CampaignSpec::parse(minimal_spec(
+      R"(,"grid":[{"axis":"a","range":{"start":0,"stop":5,"step":10}}])"));
+  ASSERT_EQ(coarse.grid[0].values.size(), 1u);
+  // Invalid ranges.
+  EXPECT_THROW(CampaignSpec::parse(minimal_spec(
+                   R"(,"grid":[{"axis":"a","range":{"start":0,"stop":1,"step":0}}])")),
+               SpecError);
+  EXPECT_THROW(CampaignSpec::parse(minimal_spec(
+                   R"(,"grid":[{"axis":"a","range":{"start":0,"stop":1,"step":-1}}])")),
+               SpecError);
+  EXPECT_THROW(CampaignSpec::parse(minimal_spec(
+                   R"(,"grid":[{"axis":"a","range":{"start":0,"stop":1}}])")),
+               SpecError);
+  EXPECT_THROW(
+      CampaignSpec::parse(minimal_spec(
+          R"(,"grid":[{"axis":"a","range":{"start":0,"stop":1000000,"step":1}}])")),
+      SpecError);
+}
+
+TEST(CampaignSpecTest, ToJsonIsAFixedPointUnderTheRoundTrip) {
+  const CampaignSpec spec = CampaignSpec::parse(minimal_spec(
+      R"(,"trials":12,"threshold":6.5,"grid":[{"axis":"snr_db","range":{"start":7,"stop":11,"step":2}}])"));
+  const Json canonical = spec.to_json();
+  const CampaignSpec reparsed = CampaignSpec::from_json(canonical);
+  EXPECT_EQ(reparsed.to_json().dump(), canonical.dump());
+  // Ranges canonicalize to lists.
+  EXPECT_NE(canonical.dump().find("\"list\":[7,9,11]"), std::string::npos);
+  // Defaults are materialized.
+  EXPECT_NE(canonical.dump().find("\"authentic_trials\":200"), std::string::npos);
+}
+
+TEST(CampaignSpecTest, CellAccessors) {
+  const CampaignSpec spec = CampaignSpec::parse(minimal_spec(
+      R"(,"grid":[{"axis":"snr_db","list":[7.5]},{"axis":"trials","list":[3]}])"));
+  const auto cells = spec.cells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(cells[0].number_or("snr_db", 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(cells[0].number_or("absent", -1.0), -1.0);
+  EXPECT_EQ(cells[0].uint_or("trials", 99), 3u);
+  EXPECT_EQ(cells[0].uint_or("absent", 99), 99u);
+  EXPECT_EQ(cells[0].find("absent"), nullptr);
+  EXPECT_THROW(cells[0].uint_or("snr_db", 0), SpecError);  // non-integer axis
+}
+
+}  // namespace
+}  // namespace ctc::campaign

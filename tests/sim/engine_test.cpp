@@ -102,6 +102,30 @@ TEST(TrialEngineTest, NamedStreamIsDeterministic) {
   for (int i = 0; i < 16; ++i) EXPECT_EQ(ra.next_u64(), rb.next_u64());
 }
 
+TEST(TrialEngineTest, SeekRunReplaysAnyRunFamily) {
+  // The campaign executor's contract: seeking to run index N reproduces the
+  // exact streams a sequential engine would have used for its (N+1)-th run.
+  TrialEngine sequential({77, 2});
+  std::vector<std::vector<std::uint64_t>> runs;
+  for (int run = 0; run < 3; ++run) {
+    runs.push_back(sequential.map(
+        8, [](std::size_t, dsp::Rng& rng) { return rng.next_u64(); }));
+  }
+
+  TrialEngine seeker({77, 4});
+  EXPECT_EQ(seeker.next_run_index(), 0u);
+  for (std::uint64_t run : {2, 0, 1}) {  // out of order on purpose
+    seeker.seek_run(run);
+    EXPECT_EQ(seeker.next_run_index(), run);
+    EXPECT_EQ(seeker.map(8, [](std::size_t, dsp::Rng& rng) {
+      return rng.next_u64();
+    }), runs[run]);
+    EXPECT_EQ(seeker.next_run_index(), run + 1);
+  }
+
+  EXPECT_THROW(seeker.seek_run(TrialEngine::kMaxRunIndex + 1), ContractError);
+}
+
 TEST(TrialEngineTest, RejectsOversizedRuns) {
   TrialEngine engine({1, 1});
   EXPECT_THROW(

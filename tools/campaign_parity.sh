@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Byte-for-byte parity between the ported bench binaries and their campaign
+# specs: `ctc_campaign run campaigns/<bench>.json` must emit the exact JSON
+# line the bench prints with --json (the quick specs pin the same reduced
+# trial counts as the bench's --trials override).
+#
+# usage: campaign_parity.sh <build_dir> <source_dir>
+set -euo pipefail
+
+build_dir=${1:?usage: campaign_parity.sh <build_dir> <source_dir>}
+source_dir=${2:?usage: campaign_parity.sh <build_dir> <source_dir>}
+cli="$build_dir/tools/ctc_campaign"
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+check() {
+  local bench=$1 trials=$2 spec=$3
+  "$build_dir/bench/$bench" --trials="$trials" --json | tail -n1 \
+    > "$work/$bench.bench.json"
+  "$cli" run "$source_dir/campaigns/$spec" --out "$work/$bench.campaign" \
+    --quiet | tail -n1 > "$work/$bench.campaign.json"
+  if ! diff "$work/$bench.bench.json" "$work/$bench.campaign.json"; then
+    echo "FAIL: $bench --json differs from campaigns/$spec report" >&2
+    exit 1
+  fi
+  echo "ok: $bench == campaigns/$spec (byte-for-byte)"
+}
+
+check table2_attack_awgn 12 table2_attack_awgn_quick.json
+check fig12_threshold 8 fig12_threshold_quick.json
+echo "campaign parity: PASS"

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_trajectory.py (run via ctest or directly)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import tempfile
+import unittest
+from pathlib import Path
+
+MODULE_PATH = Path(__file__).resolve().parent / "bench_trajectory.py"
+_spec = importlib.util.spec_from_file_location("bench_trajectory", MODULE_PATH)
+bench_trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_trajectory)
+
+
+def perf_report(trials: int, wall_ms: float) -> dict:
+    return {"bench": "perf_engine", "seed": 20190707, "trials": trials,
+            "wall_ms_wide": wall_ms}
+
+
+class TrajectoryTestCase(unittest.TestCase):
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+        self.dir = Path(self._tmp.name)
+        self.trajectory = self.dir / "trajectory.json"
+
+    def write_run(self, report: dict, name: str = "run.json") -> Path:
+        path = self.dir / name
+        # Mimic `bench --json | tail` capture: banner noise above, report last.
+        path.write_text("=== banner ===\n\n" + json.dumps(report) + "\n",
+                        encoding="utf-8")
+        return path
+
+    def append(self, report: dict, label: str = "") -> int:
+        run = self.write_run(report)
+        argv = ["append", "--run", str(run), "--trajectory",
+                str(self.trajectory)]
+        if label:
+            argv += ["--label", label]
+        return bench_trajectory.main(argv)
+
+    def check(self, max_regression: float | None = None) -> int:
+        argv = ["check", "--trajectory", str(self.trajectory)]
+        if max_regression is not None:
+            argv += ["--max-regression", str(max_regression)]
+        return bench_trajectory.main(argv)
+
+    # -- append ---------------------------------------------------------------
+
+    def test_append_creates_trajectory_and_accumulates_runs(self) -> None:
+        self.assertEqual(self.append(perf_report(100, 10.0), "first"), 0)
+        self.assertEqual(self.append(perf_report(100, 11.0)), 0)
+        data = json.loads(self.trajectory.read_text(encoding="utf-8"))
+        self.assertEqual(data["trajectory_schema"], 1)
+        self.assertEqual(len(data["runs"]), 2)
+        self.assertEqual(data["runs"][0]["label"], "first")
+        self.assertEqual(data["runs"][1]["label"], "run-1")  # default label
+        self.assertEqual(data["runs"][0]["report"]["trials"], 100)
+
+    def test_append_rejects_run_without_bench_field(self) -> None:
+        run = self.write_run({"seed": 1})
+        with self.assertRaises(SystemExit):
+            bench_trajectory.main(["append", "--run", str(run),
+                                   "--trajectory", str(self.trajectory)])
+
+    def test_append_rejects_empty_and_non_json_runs(self) -> None:
+        empty = self.dir / "empty.json"
+        empty.write_text("\n\n", encoding="utf-8")
+        with self.assertRaises(SystemExit):
+            bench_trajectory.main(["append", "--run", str(empty),
+                                   "--trajectory", str(self.trajectory)])
+        garbage = self.dir / "garbage.json"
+        garbage.write_text("not json\n", encoding="utf-8")
+        with self.assertRaises(SystemExit):
+            bench_trajectory.main(["append", "--run", str(garbage),
+                                   "--trajectory", str(self.trajectory)])
+
+    def test_rejects_wrong_schema_and_malformed_trajectory(self) -> None:
+        self.trajectory.write_text(
+            json.dumps({"trajectory_schema": 99, "runs": []}),
+            encoding="utf-8")
+        with self.assertRaises(SystemExit):
+            self.append(perf_report(1, 1.0))
+        self.trajectory.write_text(json.dumps({"no_runs": True}),
+                                   encoding="utf-8")
+        with self.assertRaises(SystemExit):
+            self.check()
+
+    # -- check ----------------------------------------------------------------
+
+    def test_check_passes_trivially_with_fewer_than_two_perf_runs(self) -> None:
+        self.assertEqual(self.check(), 0)  # missing file == empty trajectory
+        self.append(perf_report(100, 10.0))
+        self.append({"bench": "table2_attack_awgn", "seed": 1})  # not perf
+        self.assertEqual(self.check(), 0)
+
+    def test_check_passes_within_regression_budget(self) -> None:
+        self.append(perf_report(100, 10.0), "base")     # 10 trials/ms
+        self.append(perf_report(100, 12.0), "latest")   # -16.7%
+        self.assertEqual(self.check(), 0)               # default budget 25%
+
+    def test_check_fails_beyond_regression_budget(self) -> None:
+        self.append(perf_report(100, 10.0), "base")
+        self.append(perf_report(100, 20.0), "latest")   # -50%
+        self.assertEqual(self.check(), 1)
+        self.assertEqual(self.check(max_regression=0.6), 0)  # widened budget
+
+    def test_check_compares_latest_against_best_earlier(self) -> None:
+        self.append(perf_report(100, 20.0), "slow-start")   # 5 trials/ms
+        self.append(perf_report(100, 10.0), "best")         # 10 trials/ms
+        self.append(perf_report(100, 13.0), "latest")       # -23% vs best
+        self.assertEqual(self.check(), 0)
+        self.append(perf_report(100, 16.0), "regressed")    # -37.5% vs best
+        self.assertEqual(self.check(), 1)
+
+    def test_check_ignores_runs_without_usable_throughput(self) -> None:
+        self.append({"bench": "perf_engine", "trials": 100})           # no wall
+        self.append({"bench": "perf_engine", "trials": 100,
+                     "wall_ms_wide": 0})                               # div by 0
+        self.append(perf_report(100, 10.0))
+        self.assertEqual(self.check(), 0)  # only one usable run -> pass
+
+
+if __name__ == "__main__":
+    unittest.main()
