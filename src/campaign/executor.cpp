@@ -145,9 +145,15 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
       }
       engine.seek_run(unit.run_index);
       Json result = plan.experiment->run_unit(spec, unit, state, engine);
-      results.emplace(unit.index, result);
-      manifest.completed.push_back(CompletedUnit{unit.id, unit.index, result});
-      save_manifest(manifest, manifest_path);
+      manifest.completed.push_back(
+          CompletedUnit{unit.id, unit.index, std::move(result)});
+      // Load-merge-save under the manifest lock: concurrent shard processes
+      // sharing --out never lose each other's completed units, and the
+      // merged view we get back includes their progress.
+      manifest = checkpoint_manifest(manifest, manifest_path);
+      for (const CompletedUnit& done : manifest.completed) {
+        results.emplace(done.index, done.result);
+      }
       ++outcome.units_run;
       if (!options.quiet) {
         std::printf("  [%zu/%zu] %s done\n", results.size(), plan.units_total,
@@ -155,7 +161,23 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
       }
     }
     // A stage reduction (e.g. threshold calibration) needs every unit of
-    // the stage; stop here when other shards still own some of them.
+    // the stage; stop here when other shards still own some of them. A
+    // concurrently running shard may have checkpointed units since our last
+    // merge, so absorb the on-disk manifest before deciding.
+    bool stage_done = true;
+    for (const WorkUnit& unit : plan.stages[stage]) {
+      if (results.count(unit.index) == 0) {
+        stage_done = false;
+        break;
+      }
+    }
+    if (!stage_done) {
+      if (auto disk = load_manifest(manifest_path)) {
+        for (const CompletedUnit& done : disk->completed) {
+          results.emplace(done.index, done.result);
+        }
+      }
+    }
     std::vector<const Json*> stage_results;
     for (const WorkUnit& unit : plan.stages[stage]) {
       const auto it = results.find(unit.index);
@@ -196,9 +218,10 @@ CampaignOutcome run_campaign(const CampaignSpec& spec,
   write_file_atomic(options.out_dir + "/cells.csv",
                     render_cells_csv(plan, spec, results));
   if (options.telemetry) {
-    char extra[160];
-    std::snprintf(extra, sizeof extra, "\"campaign\":\"%s\",\"seed\":%" PRIu64 ",",
-                  spec.name.c_str(), spec.seed);
+    // Json handles escaping and arbitrary name length (a quote or backslash
+    // in the campaign name must not produce invalid telemetry.json).
+    const std::string extra = "\"campaign\":" + Json(spec.name).dump() +
+                              ",\"seed\":" + Json(spec.seed).dump() + ",";
     write_file_atomic(
         options.out_dir + "/telemetry.json",
         sim::telemetry::to_json(sim::telemetry::collect(),

@@ -6,8 +6,10 @@
 //   * every unit runs its Monte Carlo trials on the engine after
 //     seek_run(unit.run_index), so results are bit-identical for a fixed
 //     seed at ANY thread count, shard count, or kill/resume partition;
-//   * after each unit the manifest checkpoint is atomically rewritten —
-//     a killed campaign resumes exactly where it stopped;
+//   * after each unit the manifest checkpoint is merged and atomically
+//     rewritten under an flock (see manifest.h) — a killed campaign resumes
+//     exactly where it stopped, and concurrent shard processes sharing one
+//     --out directory never lose each other's progress;
 //   * once every unit is complete the experiment's stage reductions and
 //     final report run, and the artifact store writes report.json (for
 //     ported benches: byte-identical to the bench's --json line),

@@ -126,11 +126,18 @@ class AttackSuccessExperiment final : public Experiment {
       authentic.push_back(
           Json(units.at(2 * i + 1)->at("success_rate").as_number()));
     }
-    // Field-for-field the bench/table2_attack_awgn --json line.
+    // Field-for-field the bench/table2_attack_awgn --json line. A per-cell
+    // "trials" axis overrides the spec-level count, so a single
+    // frames_per_point would misstate those sweeps — omit it then (the
+    // bench-parity specs have no such axis).
+    bool per_cell_trials = false;
+    for (const GridAxis& axis : spec.grid) {
+      if (axis.name == "trials") per_cell_trials = true;
+    }
     Json report = Json::object();
     report.set("bench", Json(spec.name));
     report.set("seed", Json(spec.seed));
-    report.set("frames_per_point", Json(spec.trials));
+    if (!per_cell_trials) report.set("frames_per_point", Json(spec.trials));
     report.set("snr_db", std::move(snrs));
     report.set("attack_success_rate", std::move(attack));
     report.set("authentic_success_rate", std::move(authentic));

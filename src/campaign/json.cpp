@@ -227,6 +227,10 @@ class Parser {
     char* end = nullptr;
     const double value = std::strtod(literal.c_str(), &end);
     if (end == nullptr || *end != '\0') fail("bad number", start);
+    // An overflowing literal (e.g. 1e400) would otherwise become +/-inf,
+    // which dump() cannot represent — reject it here instead of silently
+    // breaking the round trip. (Underflow to 0 is accepted, as usual.)
+    if (!std::isfinite(value)) fail("number out of range", start);
     return Json(value);
   }
 
@@ -376,8 +380,14 @@ std::string Json::dump() const {
       break;
     }
     case Type::number: {
+      const double value = std::get<double>(value_);
+      if (!std::isfinite(value)) {
+        // %.17g would print "inf"/"nan", which is not JSON — the manifest's
+        // dump/parse round trip must never emit an unparseable document.
+        throw JsonError("json: cannot serialize non-finite number");
+      }
       char buffer[40];
-      std::snprintf(buffer, sizeof buffer, "%.17g", std::get<double>(value_));
+      std::snprintf(buffer, sizeof buffer, "%.17g", value);
       out = buffer;
       break;
     }

@@ -1,11 +1,14 @@
 #include "campaign/manifest.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <unordered_set>
 
 namespace ctc::campaign {
 
@@ -29,6 +32,30 @@ void fsync_path(const std::string& path) {
   ::fsync(fd);
   ::close(fd);
 }
+
+// Exclusive advisory lock on `<manifest>.lock`, held for the duration of a
+// load-merge-save checkpoint. flock() is per open file description, so it
+// also serializes concurrent checkpoints from threads of one process.
+class ManifestLock {
+ public:
+  explicit ManifestLock(const std::string& manifest_path) {
+    const std::string lock_path = manifest_path + ".lock";
+    fd_ = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) fail_io(lock_path, "cannot open lock file");
+    while (::flock(fd_, LOCK_EX) != 0) {
+      if (errno != EINTR) {
+        ::close(fd_);
+        fail_io(lock_path, "cannot lock");
+      }
+    }
+  }
+  ManifestLock(const ManifestLock&) = delete;
+  ManifestLock& operator=(const ManifestLock&) = delete;
+  ~ManifestLock() { ::close(fd_); }  // closing releases the flock
+
+ private:
+  int fd_ = -1;
+};
 
 }  // namespace
 
@@ -83,7 +110,13 @@ std::string spec_fingerprint(const CampaignSpec& spec) {
 }
 
 void write_file_atomic(const std::string& path, const std::string& content) {
-  const std::string temp = path + ".tmp";
+  // Per-writer temp name: concurrent writers of one path (shard processes
+  // sharing --out, or threads within one) must never interleave into a
+  // shared temp file. pid disambiguates processes, the counter threads.
+  static std::atomic<unsigned long> counter{0};
+  const std::string temp = path + ".tmp." +
+                           std::to_string(static_cast<long>(::getpid())) + "." +
+                           std::to_string(counter.fetch_add(1));
   std::FILE* file = std::fopen(temp.c_str(), "w");
   if (file == nullptr) fail_io(temp, "cannot open");
   const bool wrote =
@@ -103,6 +136,30 @@ void write_file_atomic(const std::string& path, const std::string& content) {
 
 void save_manifest(const Manifest& manifest, const std::string& path) {
   write_file_atomic(path, manifest.to_json().dump());
+}
+
+Manifest checkpoint_manifest(const Manifest& local, const std::string& path) {
+  ManifestLock lock(path);
+  Manifest merged = local;
+  if (auto disk = load_manifest(path)) {
+    if (disk->campaign != local.campaign ||
+        disk->fingerprint != local.fingerprint ||
+        disk->units_total != local.units_total) {
+      throw ManifestError("manifest: " + path +
+                          " belongs to a different spec (fingerprint changed "
+                          "underneath a running campaign)");
+    }
+    // Disk entries win (other processes own them); keep their completion
+    // order, then append this process's units they have not seen yet.
+    merged.completed = std::move(disk->completed);
+    std::unordered_set<std::size_t> on_disk;
+    for (const CompletedUnit& unit : merged.completed) on_disk.insert(unit.index);
+    for (const CompletedUnit& unit : local.completed) {
+      if (on_disk.count(unit.index) == 0) merged.completed.push_back(unit);
+    }
+  }
+  save_manifest(merged, path);
+  return merged;
 }
 
 std::optional<Manifest> load_manifest(const std::string& path) {

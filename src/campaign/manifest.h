@@ -1,13 +1,17 @@
 // On-disk campaign checkpoint: the resume manifest.
 //
-// The executor checkpoints after every completed work unit by rewriting
-// `manifest.json` in the campaign output directory through the classic
-// crash-safe sequence: write to a temp file in the same directory, fsync
-// the file, rename() over the target, fsync the directory. A campaign
-// killed at any point therefore resumes from the last completed unit with
-// no torn or half-written state, and — because unit randomness is keyed by
-// planner-assigned run indices, not execution order — the resumed run's
-// aggregates are bit-identical to an uninterrupted one.
+// The executor checkpoints after every completed work unit through a
+// load-merge-save cycle serialized by an exclusive flock on
+// `manifest.json.lock`: reload the on-disk manifest, merge in this
+// process's newly completed units, and rewrite it via the classic
+// crash-safe sequence (write to a per-process temp file in the same
+// directory, fsync the file, rename() over the target, fsync the
+// directory). A campaign killed at any point therefore resumes from the
+// last completed unit with no torn or half-written state, concurrent shard
+// processes sharing one output directory never lose each other's progress,
+// and — because unit randomness is keyed by planner-assigned run indices,
+// not execution order — the resumed run's aggregates are bit-identical to
+// an uninterrupted one.
 //
 // The manifest is bound to its spec by a fingerprint over the canonical
 // spec JSON, so resuming with a modified spec is rejected instead of
@@ -57,6 +61,15 @@ void save_manifest(const Manifest& manifest, const std::string& path);
 /// Loads a manifest; std::nullopt when `path` does not exist. Throws
 /// ManifestError when the file exists but cannot be parsed.
 std::optional<Manifest> load_manifest(const std::string& path);
+
+/// Checkpoints `local` into `path` with a load-merge-save cycle under an
+/// exclusive flock on `path + ".lock"`, so any number of shard processes
+/// (or threads) sharing one output directory never lose each other's
+/// completed units. Disk entries win on index collision; the returned
+/// manifest is the merged view, including units completed by other
+/// processes. Throws ManifestError when the on-disk manifest belongs to a
+/// different spec.
+Manifest checkpoint_manifest(const Manifest& local, const std::string& path);
 
 /// Writes `content` + '\n' to `path` via the same atomic sequence (shared
 /// by the artifact store for report/CSV files).

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "campaign/executor.h"
 #include "campaign/manifest.h"
@@ -135,6 +136,43 @@ TEST(CampaignManifestTest, RoundTripsThroughJsonAndDisk) {
   EXPECT_THROW(load_manifest(path), ManifestError);
 }
 
+TEST(CampaignManifestTest, CheckpointMergesConcurrentWriters) {
+  const std::string dir = fresh_dir("merge");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/manifest.json";
+
+  // Two writers with disjoint completed sets, as two shard processes that
+  // each loaded an empty manifest would hold them.
+  Manifest a;
+  a.campaign = "tiny";
+  a.fingerprint = "feedfacefeedface";
+  a.units_total = 4;
+  a.completed.push_back(CompletedUnit{"u0", 0, Json::parse(R"({"s":1})")});
+  Manifest b = a;
+  b.completed.clear();
+  b.completed.push_back(CompletedUnit{"u1", 1, Json::parse(R"({"s":2})")});
+
+  const Manifest after_a = checkpoint_manifest(a, path);
+  EXPECT_EQ(after_a.completed.size(), 1u);
+  // b's checkpoint must not lose a's unit, and must hand b the merged view.
+  const Manifest after_b = checkpoint_manifest(b, path);
+  ASSERT_EQ(after_b.completed.size(), 2u);
+  EXPECT_EQ(after_b.completed[0].index, 0u);
+  EXPECT_EQ(after_b.completed[1].index, 1u);
+  const auto on_disk = load_manifest(path);
+  ASSERT_TRUE(on_disk.has_value());
+  EXPECT_EQ(on_disk->completed.size(), 2u);
+
+  // Re-checkpointing a stale view (a never saw b's unit) stays lossless.
+  const Manifest after_a2 = checkpoint_manifest(a, path);
+  EXPECT_EQ(after_a2.completed.size(), 2u);
+
+  // A writer for a different spec is rejected instead of merged.
+  Manifest other = a;
+  other.fingerprint = "0000000000000000";
+  EXPECT_THROW(checkpoint_manifest(other, path), ManifestError);
+}
+
 TEST(CampaignManifestTest, FingerprintTracksSpecContent) {
   const CampaignSpec spec = CampaignSpec::parse(tiny_attack_spec_text());
   CampaignSpec modified = spec;
@@ -174,6 +212,47 @@ TEST(CampaignExecutorTest, ThreadAndShardPartitionsAreBitIdentical) {
   sharded.shard = 0;
   const CampaignOutcome merged = run_campaign(spec, sharded);
   ASSERT_TRUE(merged.complete);
+  EXPECT_EQ(merged.report_json, ref.report_json);
+}
+
+TEST(CampaignExecutorTest, ConcurrentShardsShareOneOutputDirectory) {
+  const CampaignSpec spec = CampaignSpec::parse(tiny_attack_spec_text());
+
+  ExecutorOptions reference;
+  reference.out_dir = fresh_dir("conc_ref");
+  reference.threads = 1;
+  reference.quiet = true;
+  const CampaignOutcome ref = run_campaign(spec, reference);
+  ASSERT_TRUE(ref.complete);
+
+  // Both shards run simultaneously into one directory; the flock'd
+  // load-merge-save checkpoint must not lose either side's units,
+  // whichever interleaving the scheduler picks.
+  const std::string out = fresh_dir("conc");
+  auto run_shard = [&](std::size_t shard) {
+    ExecutorOptions options;
+    options.out_dir = out;
+    options.shards = 2;
+    options.shard = shard;
+    options.threads = 1;
+    options.quiet = true;
+    return run_campaign(spec, options);
+  };
+  CampaignOutcome outcomes[2];
+  std::thread worker([&] { outcomes[1] = run_shard(1); });
+  outcomes[0] = run_shard(0);
+  worker.join();
+
+  // Depending on timing either shard (or neither) observes the full result
+  // set and completes; a final merge pass always does, without re-running
+  // any unit.
+  ExecutorOptions merge_options;
+  merge_options.out_dir = out;
+  merge_options.quiet = true;
+  const CampaignOutcome merged = run_campaign(spec, merge_options);
+  ASSERT_TRUE(merged.complete);
+  EXPECT_EQ(merged.units_run, 0u);
+  EXPECT_EQ(outcomes[0].units_run + outcomes[1].units_run, 4u);
   EXPECT_EQ(merged.report_json, ref.report_json);
 }
 

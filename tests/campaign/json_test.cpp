@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 namespace ctc::campaign {
@@ -95,6 +96,23 @@ TEST(CampaignJsonTest, Uint64AboveInt64MaxWidensToDouble) {
   const Json small(std::uint64_t{20190707});
   EXPECT_TRUE(small.is_integer());
   EXPECT_EQ(small.as_uint(), 20190707u);
+}
+
+TEST(CampaignJsonTest, RejectsNonFiniteNumbers) {
+  // Out-of-range literals would become +/-inf via strtod; parse must reject
+  // them instead of producing a value dump() cannot round-trip.
+  EXPECT_THROW(Json::parse("1e400"), JsonError);
+  EXPECT_THROW(Json::parse("-1e400"), JsonError);
+  EXPECT_THROW(Json::parse(R"({"x":[1,2,1e999]})"), JsonError);
+  // Tiny literals underflow toward zero, which is fine.
+  EXPECT_DOUBLE_EQ(Json::parse("1e-400").as_number(), 0.0);
+
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()).dump(), JsonError);
+  EXPECT_THROW(Json(-std::numeric_limits<double>::infinity()).dump(), JsonError);
+  EXPECT_THROW(Json(std::numeric_limits<double>::quiet_NaN()).dump(), JsonError);
+  Json array = Json::array();
+  array.push_back(Json(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_THROW(array.dump(), JsonError);
 }
 
 TEST(CampaignJsonTest, AccessorsThrowOnTypeMismatch) {

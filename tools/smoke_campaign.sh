@@ -5,7 +5,10 @@
 #      exit code 3 = incomplete), then resume with 8 threads — the merged
 #      report must be byte-identical to the reference;
 #   3. sharding: run shard 1 then shard 0 of a 2-way partition into one
-#      output directory — again byte-identical.
+#      output directory — again byte-identical;
+#   4. concurrent sharding: both shard processes run simultaneously against
+#      one output directory (the flock'd checkpoint merge must not lose
+#      units), then a merge pass reports — again byte-identical.
 #
 # usage: smoke_campaign.sh <build_dir> <source_dir>
 set -euo pipefail
@@ -50,4 +53,34 @@ if ! diff "$work/ref.json" "$work/shard.json"; then
   exit 1
 fi
 echo "ok: 2-shard partition == sequential reference"
+
+# Concurrent shard processes sharing one --out directory. Either process may
+# exit 0 (it observed the full result set at the barrier) or 3 (the other
+# shard was still running); any other code, or a corrupt manifest, is a bug.
+"$cli" run "$spec" --out "$work/conc" --shards=2 --shard=0 --quiet > /dev/null &
+pid0=$!
+"$cli" run "$spec" --out "$work/conc" --shards=2 --shard=1 --quiet > /dev/null &
+pid1=$!
+for pid in "$pid0" "$pid1"; do
+  rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 0 ] && [ "$rc" -ne 3 ]; then
+    echo "FAIL: concurrent shard exited $rc (expected 0 or 3)" >&2
+    exit 1
+  fi
+done
+# Every one of the 8 units must be in the merged manifest BEFORE the merge
+# pass — a lost update would be silently repaired by the deterministic
+# re-run, so the byte-diff alone cannot catch it.
+units=$(grep -o '"index":' "$work/conc/manifest.json" | wc -l)
+if [ "$units" -ne 8 ]; then
+  echo "FAIL: concurrent shards checkpointed $units/8 units (lost update)" >&2
+  exit 1
+fi
+"$cli" run "$spec" --out "$work/conc" --quiet | tail -n1 > "$work/conc.json"
+if ! diff "$work/ref.json" "$work/conc.json"; then
+  echo "FAIL: concurrent 2-shard aggregate differs from sequential run" >&2
+  exit 1
+fi
+echo "ok: concurrent 2-shard processes == sequential reference"
 echo "smoke campaign: PASS"
