@@ -114,9 +114,12 @@ void write_file_atomic(const std::string& path, const std::string& content) {
   // sharing --out, or threads within one) must never interleave into a
   // shared temp file. pid disambiguates processes, the counter threads.
   static std::atomic<unsigned long> counter{0};
-  const std::string temp = path + ".tmp." +
-                           std::to_string(static_cast<long>(::getpid())) + "." +
-                           std::to_string(counter.fetch_add(1));
+  // The pid names a TEMP FILE only — it never reaches manifest/report
+  // content, so checkpoint artifacts stay byte-identical across processes.
+  const std::string temp =
+      path + ".tmp." +
+      std::to_string(static_cast<long>(::getpid())) +  // det-lint: allow(rng)
+      "." + std::to_string(counter.fetch_add(1));
   std::FILE* file = std::fopen(temp.c_str(), "w");
   if (file == nullptr) fail_io(temp, "cannot open");
   const bool wrote =

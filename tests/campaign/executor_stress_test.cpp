@@ -1,0 +1,100 @@
+// Concurrency stress regressions for campaign::run_campaign (label: stress).
+//
+// Two executor instances share one --out directory in the same process —
+// the in-process analogue of two shard processes launched against the same
+// campaign (tools/smoke_campaign.sh covers the multi-process case). Under
+// the `tsan` preset this puts the flock'd load-merge-save manifest
+// checkpoint and the stage-barrier absorption of foreign units under
+// ThreadSanitizer; in uninstrumented builds it is a fast functional
+// regression for the zero-lost-units guarantee.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "campaign/executor.h"
+#include "campaign/spec.h"
+
+namespace ctc::campaign {
+namespace {
+
+std::string stress_spec_text() {
+  return R"({"schema":1,"name":"stress","experiment":"attack_success",)"
+         R"("workload_frames":4,"trials":2,"authentic_trials":2,)"
+         R"("grid":[{"axis":"snr_db","list":[7,12,17]}]})";
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / ("exec_stress_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+CampaignOutcome run_quiet(const CampaignSpec& spec, const std::string& out,
+                          std::size_t shards,
+                          std::optional<std::size_t> shard) {
+  ExecutorOptions options;
+  options.out_dir = out;
+  options.threads = 2;
+  options.shards = shards;
+  options.shard = shard;
+  options.quiet = true;
+  return run_campaign(spec, options);
+}
+
+// Repeated rounds of two concurrent shard executors into one directory:
+// every round must converge to the serial reference report with no unit
+// lost to a checkpoint interleaving.
+TEST(ExecutorStress, ConcurrentShardsRepeatedRounds) {
+  const CampaignSpec spec = CampaignSpec::parse(stress_spec_text());
+  const CampaignOutcome ref =
+      run_quiet(spec, fresh_dir("ref"), 1, std::nullopt);
+  ASSERT_TRUE(ref.complete);
+
+  for (int round = 0; round < 8; ++round) {
+    const std::string out = fresh_dir("round" + std::to_string(round));
+    CampaignOutcome outcomes[2];
+    std::thread other([&] { outcomes[1] = run_quiet(spec, out, 2, 1); });
+    outcomes[0] = run_quiet(spec, out, 2, 0);
+    other.join();
+    EXPECT_EQ(outcomes[0].units_run + outcomes[1].units_run, 6u);
+
+    const CampaignOutcome merged = run_quiet(spec, out, 1, std::nullopt);
+    ASSERT_TRUE(merged.complete);
+    EXPECT_EQ(merged.units_run, 0u) << "merge pass re-ran a unit";
+    EXPECT_EQ(merged.report_json, ref.report_json);
+  }
+}
+
+// Two UNSHARDED executors race over the same unit list. Units get computed
+// twice, but results are deterministic, disk entries win the merge, and the
+// final report must still be byte-identical to the reference — the
+// worst-case "operator launched the campaign twice" scenario.
+TEST(ExecutorStress, DuplicateUnshardedExecutorsConverge) {
+  const CampaignSpec spec = CampaignSpec::parse(stress_spec_text());
+  const CampaignOutcome ref =
+      run_quiet(spec, fresh_dir("dup_ref"), 1, std::nullopt);
+  ASSERT_TRUE(ref.complete);
+
+  for (int round = 0; round < 4; ++round) {
+    const std::string out = fresh_dir("dup" + std::to_string(round));
+    CampaignOutcome outcomes[2];
+    std::thread other(
+        [&] { outcomes[1] = run_quiet(spec, out, 1, std::nullopt); });
+    outcomes[0] = run_quiet(spec, out, 1, std::nullopt);
+    other.join();
+
+    // At least one of the racers observes the full unit set and completes.
+    EXPECT_TRUE(outcomes[0].complete || outcomes[1].complete);
+    const CampaignOutcome merged = run_quiet(spec, out, 1, std::nullopt);
+    ASSERT_TRUE(merged.complete);
+    EXPECT_EQ(merged.report_json, ref.report_json);
+  }
+}
+
+}  // namespace
+}  // namespace ctc::campaign

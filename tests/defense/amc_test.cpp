@@ -65,8 +65,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ModulationClass::bpsk, ModulationClass::qpsk,
                       ModulationClass::psk_higher, ModulationClass::pam4,
                       ModulationClass::qam16),
-    [](const auto& info) {
-      std::string name = to_string(info.param);
+    [](const auto& name_info) {
+      std::string name = to_string(name_info.param);
       std::erase_if(name, [](char c) { return !std::isalnum(static_cast<unsigned char>(c)); });
       return name;
     });

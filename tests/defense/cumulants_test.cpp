@@ -134,7 +134,7 @@ INSTANTIATE_TEST_SUITE_P(
                       TableThreeCase{ModulationClass::qam16, "16QAM"},
                       TableThreeCase{ModulationClass::qam64, "64QAM"},
                       TableThreeCase{ModulationClass::qam256, "256QAM"}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& name_info) { return name_info.param.name; });
 
 TEST(TableThreeTest, ExactTheoreticalValuesFromThePaper) {
   EXPECT_DOUBLE_EQ(theoretical_cumulants(ModulationClass::qpsk).c40, 1.0);

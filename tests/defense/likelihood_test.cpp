@@ -77,8 +77,8 @@ INSTANTIATE_TEST_SUITE_P(Classes, HlrtClassTest,
                                            ModulationClass::qpsk,
                                            ModulationClass::qam16,
                                            ModulationClass::qam64),
-                         [](const auto& info) {
-                           std::string name = to_string(info.param);
+                         [](const auto& name_info) {
+                           std::string name = to_string(name_info.param);
                            std::erase_if(name, [](char c) {
                              return !std::isalnum(static_cast<unsigned char>(c));
                            });

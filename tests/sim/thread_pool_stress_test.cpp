@@ -1,0 +1,101 @@
+// Concurrency stress regressions for sim::ThreadPool (label: stress).
+//
+// These tests exist for the `tsan` preset: they hammer the pool's
+// construct/submit/shutdown hand-off paths so ThreadSanitizer sees every
+// synchronization edge under churn, not just the happy path the unit tests
+// exercise. They also run (fast) in uninstrumented builds as plain
+// functional regressions.
+
+#include "sim/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace ctc::sim {
+namespace {
+
+// Construct, run one job, destroy — repeatedly. Exercises the worker
+// startup/shutdown edges (a worker may still be parking in wait() when stop
+// is raised) far more often than any real bench does.
+TEST(ThreadPoolStress, SubmitShutdownChurn) {
+  for (int round = 0; round < 40; ++round) {
+    ThreadPool pool(4);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(97, [&](std::size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 97ull * 98ull / 2ull);
+  }
+}
+
+// Destroy pools that never received work: workers go straight from startup
+// to the stop signal, the tightest version of the shutdown race.
+TEST(ThreadPoolStress, ImmediateShutdownWithoutWork) {
+  for (int round = 0; round < 200; ++round) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+  }
+}
+
+// One pool, many back-to-back jobs of varying width. The generation counter
+// must publish each job's closure and count to workers that just finished
+// the previous job; writes land in disjoint slots so any cross-trial
+// visibility bug shows up as a TSan race rather than a flaky sum.
+TEST(ThreadPoolStress, BackToBackJobsReuseWorkers) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> slots;
+  for (int round = 0; round < 300; ++round) {
+    const std::size_t count = 1 + static_cast<std::size_t>(round % 64);
+    slots.assign(count, 0);
+    pool.parallel_for(count, [&](std::size_t i) { slots[i] = i + 1; });
+    std::uint64_t sum = 0;
+    for (std::uint64_t value : slots) sum += value;
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(count) * (count + 1) / 2);
+  }
+}
+
+// A throwing job must drain cleanly (first exception wins, counter
+// fast-forwards) and leave the pool reusable; repeat so the error hand-off
+// races against normal completion in both orders.
+TEST(ThreadPoolStress, ExceptionHandoffLeavesPoolUsable) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 60; ++round) {
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                     if (i == 13) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+                 std::runtime_error);
+    std::atomic<int> completed{0};
+    pool.parallel_for(16, [&](std::size_t) {
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(completed.load(), 16);
+  }
+}
+
+// Nested pools: a job running on one pool drives its own inner pool, the
+// shape an engine-inside-engine workload produces. Ensures the two pools'
+// synchronization never entangles.
+TEST(ThreadPoolStress, NestedPoolsDoNotInterfere) {
+  ThreadPool outer(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<std::uint64_t> total{0};
+    outer.parallel_for(6, [&](std::size_t) {
+      ThreadPool inner(2);
+      inner.parallel_for(32, [&](std::size_t i) {
+        total.fetch_add(i, std::memory_order_relaxed);
+      });
+    });
+    EXPECT_EQ(total.load(), 6ull * (31ull * 32ull / 2ull));
+  }
+}
+
+}  // namespace
+}  // namespace ctc::sim

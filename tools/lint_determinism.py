@@ -1,0 +1,358 @@
+#!/usr/bin/env python3
+"""Static determinism lint for the ctc reproduction tree.
+
+The repo's core contract is bit-identical simulation output for a fixed seed
+at any thread count, shard partition, or kill/resume boundary. The CI diff
+gates catch violations *dynamically* — but only when the scheduler happens
+to expose them. This lint enforces the reproducibility rules *statically*:
+
+  rng            All randomness flows through ctc::dsp::Rng. Standard-library
+                 engines (std::mt19937, std::random_device, ...), libc
+                 rand()/srand()/drand48(), and wall-clock seeds (time(),
+                 clock(), getpid(), ...) are banned outside src/dsp/rng.{h,cpp}.
+
+  clock          std::chrono clock reads are banned outside the telemetry
+                 timer layer and the explicitly-allowlisted perf benches
+                 whose *measurand* is wall time. Everything else must not
+                 let a clock value near a report.
+
+  unordered-iter Files that write report/manifest/CSV output must not
+                 iterate std::unordered_map/std::unordered_set — hash-order
+                 iteration silently reorders emitted rows between libstdc++
+                 versions and ASLR runs. Membership tests are fine.
+
+  telem-mix      Telemetry timer machinery (record_timer, ScopedTimer,
+                 Kind::timer) stays inside the telemetry layer, and the
+                 deterministic CTC_TELEM_COUNT/GAUGE/HISTO macros must never
+                 be fed clock-derived values — wall time belongs in timer
+                 metrics, which determinism-checked output excludes.
+
+A finding can be waived inline with `// det-lint: allow(<rule>)` on the
+flagged line; waivers are expected to be rare and justified in an adjacent
+comment. Allowlisted files are enumerated below WITH the reason they are
+exempt — extend the list only with a reason.
+
+Usage:
+  lint_determinism.py [--root DIR] [FILE ...]
+With no FILE arguments the standard tree (src/ bench/ tools/ examples/
+tests/) under --root is scanned. Exit status: 0 clean, 1 violations found,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_EXTENSIONS = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+SCAN_DIRS = ("src", "bench", "tools", "examples", "tests")
+
+# Files exempt from a rule, path (relative to --root, POSIX separators) ->
+# justification. The justification is printed with --list-rules so the
+# policy stays reviewable.
+RNG_ALLOWLIST = {
+    "src/dsp/rng.h": "the one blessed randomness implementation",
+    "src/dsp/rng.cpp": "the one blessed randomness implementation",
+}
+CLOCK_ALLOWLIST = {
+    "src/sim/telemetry.h": "the telemetry timer layer (ScopedTimer)",
+    "src/sim/telemetry.cpp": "the telemetry timer layer",
+    "bench/perf_engine.cpp":
+        "throughput bench: wall time IS the measurand (trajectory-gated, "
+        "never diffed for determinism)",
+    "bench/ablation_likelihood.cpp":
+        "latency ablation: reports per-call wall time by design",
+}
+TELEM_ALLOWLIST = {
+    "src/sim/telemetry.h": "defines the timer machinery",
+    "src/sim/telemetry.cpp": "implements the timer machinery",
+    "bench/bench_common.h":
+        "renders timer metrics in the human-readable summary table",
+    "tests/sim/telemetry_test.cpp": "tests the timer machinery",
+    "tests/sim/telemetry_disabled_test.cpp": "tests the compiled-out macros",
+}
+
+WAIVER_RE = re.compile(r"//\s*det-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# -- rule: rng ---------------------------------------------------------------
+
+RNG_PATTERNS = [
+    (re.compile(r"\bstd::mt19937(?:_64)?\b"), "std::mt19937 engine"),
+    (re.compile(r"\bstd::minstd_rand0?\b"), "std::minstd_rand engine"),
+    (re.compile(r"\bstd::default_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"\bstd::ranlux\w+\b"), "std::ranlux engine"),
+    (re.compile(r"\bstd::knuth_b\b"), "std::knuth_b engine"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device (nondeterministic seed source)"),
+    (re.compile(r"\bstd::(?:uniform_int|uniform_real|normal|bernoulli|poisson|exponential)_distribution\b"),
+     "std <random> distribution (unspecified algorithm: values differ across standard libraries)"),
+    (re.compile(r"(?<![\w.:>])s?rand\s*\("), "libc rand()/srand()"),
+    (re.compile(r"(?<![\w.:>])[ljm]?rand48\s*\("), "libc *rand48()"),
+    (re.compile(r"(?<![\w.:>])random\s*\("), "libc random()"),
+    (re.compile(r"\bstd::time\s*\("), "std::time() wall clock"),
+    (re.compile(r"(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0|\))"), "time() wall clock"),
+    (re.compile(r"(?<![\w.:>])clock\s*\(\s*\)"), "clock() processor time"),
+    (re.compile(r"(?<![\w.:>])clock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"(?<![\w.:>])gettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"(?<![\w.:>])getpid\s*\(\s*\)"), "getpid() (process-dependent value)"),
+    # Globally-qualified spellings (::getpid(), ::time(...)) must not slip
+    # past the bare-name patterns above. The lookbehind keeps std::/other
+    # namespace qualifications out (std::time has its own pattern).
+    (re.compile(r"(?<![\w>])::(?:getpid|gettimeofday|clock_gettime|time|clock|rand|srand|random|drand48)\s*\("),
+     "globally-qualified libc time/rand/pid call"),
+]
+
+# -- rule: clock -------------------------------------------------------------
+
+CLOCK_RE = re.compile(
+    r"\bstd::chrono::(?:steady_clock|system_clock|high_resolution_clock)\b")
+
+# -- rule: unordered-iter ----------------------------------------------------
+
+# A file counts as report-writing when it mentions any artifact it could be
+# emitting ordered output into.
+REPORT_MARKERS = (
+    "report.json", "manifest.json", "cells.csv", "telemetry.json",
+    "JsonReport", "to_json",
+)
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)")
+UNORDERED_DIRECT_ITER_RE = re.compile(
+    r"for\s*\([^;)]*:\s*[^)]*\bstd::unordered_(?:map|set|multimap|multiset)\b")
+
+# -- rule: telem-mix ---------------------------------------------------------
+
+TELEM_MACHINERY_RE = re.compile(
+    r"\b(?:record_timer\s*\(|ScopedTimer\b|Kind::timer\b)")
+TELEM_DET_MACRO_RE = re.compile(r"\bCTC_TELEM_(?:COUNT|GAUGE|HISTO)\s*\(")
+CLOCKISH_ARG_RE = re.compile(
+    r"std::chrono|::now\s*\(|\belapsed\w*\b|\bnanoseconds\b|_ns\b")
+
+
+def blank_comments(text: str) -> str:
+    """Returns `text` with //- and /* */-comments replaced by spaces,
+    preserving line structure so reported line numbers stay exact. String
+    literals are left intact (banned tokens never legitimately hide in
+    them, and report markers must stay visible)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+            elif c == "'":
+                state = "chr"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append(c)
+                if nxt:
+                    out.append(nxt)
+                    i += 2
+                    continue
+            elif c == quote:
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def line_waivers(raw_line: str) -> set:
+    match = WAIVER_RE.search(raw_line)
+    if not match:
+        return set()
+    return {rule.strip() for rule in match.group(1).split(",")}
+
+
+def extract_macro_args(code: str, start: int) -> str:
+    """Returns the balanced-paren argument text of a macro call whose
+    opening paren is at/after `start` (capped scan; macros here are short)."""
+    open_idx = code.find("(", start)
+    if open_idx < 0:
+        return ""
+    depth = 0
+    for i in range(open_idx, min(len(code), open_idx + 2000)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return code[open_idx + 1:i]
+    return code[open_idx + 1:open_idx + 2000]
+
+
+def lint_file(path: Path, rel: str) -> list:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = blank_comments(raw)
+    raw_lines = raw.splitlines()
+    code_lines = code.splitlines()
+    violations = []
+
+    def flag(line_no: int, rule: str, message: str) -> None:
+        raw_line = raw_lines[line_no - 1] if line_no - 1 < len(raw_lines) else ""
+        if rule in line_waivers(raw_line):
+            return
+        violations.append(Violation(rel, line_no, rule, message))
+
+    # rng -------------------------------------------------------------------
+    if rel not in RNG_ALLOWLIST:
+        for line_no, line in enumerate(code_lines, 1):
+            for pattern, what in RNG_PATTERNS:
+                if pattern.search(line):
+                    flag(line_no, "rng",
+                         f"{what} — all randomness must flow through "
+                         "ctc::dsp::Rng (src/dsp/rng.h)")
+
+    # clock -----------------------------------------------------------------
+    if rel not in CLOCK_ALLOWLIST:
+        for line_no, line in enumerate(code_lines, 1):
+            if CLOCK_RE.search(line):
+                flag(line_no, "clock",
+                     "std::chrono clock read outside the telemetry timer "
+                     "layer — wall time must never feed report output")
+
+    # unordered-iter --------------------------------------------------------
+    if any(marker in raw for marker in REPORT_MARKERS):
+        unordered_vars = set(UNORDERED_DECL_RE.findall(code))
+        iter_res = [
+            (var, re.compile(r"for\s*\([^;)]*:\s*[^)]*\b" + re.escape(var) + r"\b"))
+            for var in unordered_vars
+        ] + [
+            (var, re.compile(r"\b" + re.escape(var) + r"\s*\.\s*c?begin\s*\("))
+            for var in unordered_vars
+        ]
+        for line_no, line in enumerate(code_lines, 1):
+            if UNORDERED_DIRECT_ITER_RE.search(line):
+                flag(line_no, "unordered-iter",
+                     "iteration over an unordered container in a "
+                     "report-writing file — hash order is not deterministic")
+                continue
+            for var, pattern in iter_res:
+                if pattern.search(line):
+                    flag(line_no, "unordered-iter",
+                         f"iteration over unordered container '{var}' in a "
+                         "report-writing file — hash order is not "
+                         "deterministic")
+                    break
+
+    # telem-mix -------------------------------------------------------------
+    if rel not in TELEM_ALLOWLIST:
+        for line_no, line in enumerate(code_lines, 1):
+            if TELEM_MACHINERY_RE.search(line):
+                flag(line_no, "telem-mix",
+                     "telemetry timer machinery used outside the telemetry "
+                     "layer — instrument with CTC_TELEM_TIMER instead")
+    for match in TELEM_DET_MACRO_RE.finditer(code):
+        args = extract_macro_args(code, match.start())
+        if CLOCKISH_ARG_RE.search(args):
+            line_no = code.count("\n", 0, match.start()) + 1
+            flag(line_no, "telem-mix",
+                 "clock-derived value fed into a deterministic telemetry "
+                 "macro — wall time belongs in CTC_TELEM_TIMER metrics, "
+                 "which determinism-checked output excludes")
+
+    return violations
+
+
+def collect_files(root: Path) -> list:
+    files = []
+    for sub in SCAN_DIRS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_EXTENSIONS and path.is_file():
+                files.append(path)
+    return files
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repo root (default: cwd)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rules and allowlists, then exit")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files to lint (default: scan the tree)")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve()
+
+    if args.list_rules:
+        print(__doc__)
+        for title, allowlist in (("rng", RNG_ALLOWLIST),
+                                 ("clock", CLOCK_ALLOWLIST),
+                                 ("telem-mix", TELEM_ALLOWLIST)):
+            print(f"allowlist [{title}]:")
+            for path, reason in allowlist.items():
+                print(f"  {path}: {reason}")
+        return 0
+
+    if args.files:
+        paths = [Path(f) for f in args.files]
+    else:
+        paths = collect_files(root)
+        if not paths:
+            print(f"lint_determinism: no sources found under {root}",
+                  file=sys.stderr)
+            return 2
+
+    all_violations = []
+    for path in paths:
+        try:
+            rel = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        all_violations.extend(lint_file(path, rel))
+
+    for violation in all_violations:
+        print(violation)
+    if all_violations:
+        print(f"\nlint_determinism: {len(all_violations)} violation(s) in "
+              f"{len(paths)} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint_determinism: OK ({len(paths)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
