@@ -1,0 +1,192 @@
+// Perf — hot-path micro-benchmarks for the optimized kernels: FFT vs direct
+// convolution, packed-popcount vs byte-loop despreading, the receiver's
+// precomputed timing-search grid vs the per-call search, and the link's
+// memoized clean-waveform synthesis.
+//
+//   $ ./perf_hotpath --json | tail -n1 > BENCH_perf_hotpath.json
+//
+// Each section times the reference (pre-optimization) path against the fast
+// path on the same inputs and reports both wall times plus the ratio. Like
+// perf_engine, this JSON intentionally contains wall times — do not use it
+// in the CI determinism diff. The *correctness* of each pair is covered by
+// the equivalence test suites (tests/dsp/convolve_equivalence_test.cpp and
+// friends); this bench only answers "was the rewrite worth it?" and feeds
+// tools/bench_trajectory.py ratio assertions, which are machine-independent.
+#include <chrono>
+#include <cmath>
+
+#include "bench_common.h"
+#include "dsp/fir.h"
+#include "dsp/rng.h"
+#include "sim/link.h"
+#include "zigbee/app.h"
+#include "zigbee/dsss.h"
+#include "zigbee/receiver.h"
+#include "zigbee/transmitter.h"
+
+using namespace ctc;
+
+namespace {
+
+/// Minimum wall time of `reps` runs of `fn` (min beats mean under scheduler
+/// noise for micro-kernels). The result of every run is folded into a
+/// volatile sink so the optimizer cannot drop the work.
+template <typename Fn>
+double time_ms(std::size_t reps, Fn&& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+volatile double g_sink = 0.0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  bench::print_banner(options, "Perf: hot-path kernels (convolve / despread / "
+                               "timing grid / waveform cache)");
+  const std::size_t reps = options.trials_or(5);
+  dsp::Rng rng = dsp::Rng::for_stream(options.seed, 0);
+
+  sim::Table table({"kernel", "reference", "fast path", "ratio"});
+
+  // -- convolve: direct vs FFT ----------------------------------------------
+  // A long-filter workload comfortably past the use_fft_convolution()
+  // crossover (the direct form's vectorized MAC loop keeps short filters —
+  // the whole per-trial receive path — on the direct side; see fir.cpp).
+  const std::size_t signal_len = 8192;
+  const std::size_t num_taps = 4097;
+  cvec signal(signal_len);
+  for (auto& x : signal) x = rng.complex_gaussian(1.0);
+  rvec taps(num_taps);
+  for (auto& t : taps) t = rng.uniform(-1.0, 1.0);
+  const double convolve_direct_ms = time_ms(reps, [&] {
+    const cvec out = dsp::convolve_direct(signal, taps);
+    g_sink = g_sink + out.back().real();
+  });
+  const double convolve_fft_ms = time_ms(reps, [&] {
+    const cvec out = dsp::convolve_fft(signal, taps);
+    g_sink = g_sink + out.back().real();
+  });
+  table.add_row({"convolve (n=8192, t=4097)",
+                 sim::Table::num(convolve_direct_ms, 3) + " ms",
+                 sim::Table::num(convolve_fft_ms, 3) + " ms",
+                 sim::Table::num(convolve_direct_ms / convolve_fft_ms, 2) + "x"});
+
+  // -- despread: byte loop vs packed popcount -------------------------------
+  // All 16 symbols, many repetitions, a couple of deterministic chip errors
+  // per symbol so the Hamming loop does real work.
+  std::vector<std::uint8_t> chips;
+  const std::size_t symbol_reps = 2048;
+  for (std::size_t r = 0; r < symbol_reps; ++r) {
+    for (std::uint8_t s = 0; s < zigbee::kNumSymbols; ++s) {
+      const auto& sequence = zigbee::chips_for_symbol(s);
+      std::vector<std::uint8_t> block(sequence.begin(), sequence.end());
+      block[(r + s) % zigbee::kChipsPerSymbol] ^= 1;
+      block[(r + 2 * s + 7) % zigbee::kChipsPerSymbol] ^= 1;
+      chips.insert(chips.end(), block.begin(), block.end());
+    }
+  }
+  const std::size_t threshold = 10;
+  const double despread_reference_ms = time_ms(reps, [&] {
+    std::size_t accepted = 0;
+    for (std::size_t offset = 0; offset < chips.size();
+         offset += zigbee::kChipsPerSymbol) {
+      const auto block = zigbee::despread_block_reference(
+          std::span<const std::uint8_t>(chips).subspan(offset,
+                                                       zigbee::kChipsPerSymbol),
+          threshold);
+      accepted += block.accepted ? 1 : 0;
+    }
+    g_sink = g_sink + static_cast<double>(accepted);
+  });
+  const double despread_packed_ms = time_ms(reps, [&] {
+    std::size_t accepted = 0;
+    for (std::size_t offset = 0; offset < chips.size();
+         offset += zigbee::kChipsPerSymbol) {
+      const auto block = zigbee::despread_block(
+          std::span<const std::uint8_t>(chips).subspan(offset,
+                                                       zigbee::kChipsPerSymbol),
+          threshold);
+      accepted += block.accepted ? 1 : 0;
+    }
+    g_sink = g_sink + static_cast<double>(accepted);
+  });
+  table.add_row({"despread (32k symbols)",
+                 sim::Table::num(despread_reference_ms, 3) + " ms",
+                 sim::Table::num(despread_packed_ms, 3) + " ms",
+                 sim::Table::num(despread_reference_ms / despread_packed_ms, 2) +
+                     "x"});
+
+  // -- receive: per-call timing search vs precomputed grid ------------------
+  const auto frames = zigbee::make_text_workload(1);
+  const cvec frame_waveform = zigbee::Transmitter().transmit_frame(frames[0]);
+  zigbee::ReceiverConfig rx_config;
+  rx_config.timing_recovery = true;
+  rx_config.precompute_timing_grid = false;
+  const zigbee::Receiver receiver_percall(rx_config);
+  rx_config.precompute_timing_grid = true;
+  const zigbee::Receiver receiver_grid(rx_config);
+  const double receive_percall_ms = time_ms(reps, [&] {
+    const auto result = receiver_percall.receive(frame_waveform);
+    g_sink = g_sink + (result.frame_ok() ? 1.0 : 0.0);
+  });
+  const double receive_grid_ms = time_ms(reps, [&] {
+    const auto result = receiver_grid.receive(frame_waveform);
+    g_sink = g_sink + (result.frame_ok() ? 1.0 : 0.0);
+  });
+  table.add_row({"receive w/ clock recovery",
+                 sim::Table::num(receive_percall_ms, 3) + " ms",
+                 sim::Table::num(receive_grid_ms, 3) + " ms",
+                 sim::Table::num(receive_percall_ms / receive_grid_ms, 2) + "x"});
+
+  // -- clean waveform: per-call synthesis vs memoized -----------------------
+  // The emulated link is the expensive one (TX -> OFDM emulation -> power
+  // normalization); cached calls only copy the stored waveform out.
+  sim::LinkConfig link_config;
+  link_config.kind = sim::LinkKind::emulated;
+  link_config.memoize_waveforms = false;
+  const sim::Link link_uncached(link_config);
+  link_config.memoize_waveforms = true;
+  const sim::Link link_cached(link_config);
+  link_cached.clean_waveform(frames[0]);  // fill outside the timed region
+  const double clean_uncached_ms = time_ms(reps, [&] {
+    const cvec waveform = link_uncached.clean_waveform(frames[0]);
+    g_sink = g_sink + waveform.front().real();
+  });
+  const double clean_cached_ms = time_ms(reps, [&] {
+    const cvec waveform = link_cached.clean_waveform(frames[0]);
+    g_sink = g_sink + waveform.front().real();
+  });
+  table.add_row({"clean_waveform (emulated)",
+                 sim::Table::num(clean_uncached_ms, 3) + " ms",
+                 sim::Table::num(clean_cached_ms, 3) + " ms",
+                 sim::Table::num(clean_uncached_ms / clean_cached_ms, 2) + "x"});
+
+  table.print();
+
+  bench::JsonReport report(options, "perf_hotpath");
+  report.set("reps", static_cast<std::uint64_t>(reps));
+  report.set("convolve_direct_ms", convolve_direct_ms);
+  report.set("convolve_fft_ms", convolve_fft_ms);
+  report.set("convolve_speedup", convolve_direct_ms / convolve_fft_ms);
+  report.set("despread_reference_ms", despread_reference_ms);
+  report.set("despread_packed_ms", despread_packed_ms);
+  report.set("despread_speedup", despread_reference_ms / despread_packed_ms);
+  report.set("receive_percall_ms", receive_percall_ms);
+  report.set("receive_grid_ms", receive_grid_ms);
+  report.set("receive_speedup", receive_percall_ms / receive_grid_ms);
+  report.set("clean_uncached_ms", clean_uncached_ms);
+  report.set("clean_cached_ms", clean_cached_ms);
+  report.set("clean_speedup", clean_uncached_ms / clean_cached_ms);
+  bench::finish(report, options);
+  return 0;
+}

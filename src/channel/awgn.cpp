@@ -19,4 +19,10 @@ cvec add_noise_variance(std::span<const cplx> signal, double noise_variance,
   return out;
 }
 
+void add_noise_variance_inplace(std::span<cplx> signal, double noise_variance,
+                                dsp::Rng& rng) {
+  CTC_REQUIRE(noise_variance >= 0.0);
+  for (auto& x : signal) x += rng.complex_gaussian(noise_variance);
+}
+
 }  // namespace ctc::channel

@@ -22,4 +22,9 @@ cvec add_awgn(std::span<const cplx> signal, double snr_db, dsp::Rng& rng);
 cvec add_noise_variance(std::span<const cplx> signal, double noise_variance,
                         dsp::Rng& rng);
 
+/// In-place variant — bit-identical to add_noise_variance (same per-sample
+/// RNG draw order).
+void add_noise_variance_inplace(std::span<cplx> signal, double noise_variance,
+                                dsp::Rng& rng);
+
 }  // namespace ctc::channel

@@ -12,28 +12,35 @@ double Environment::effective_snr_db() const {
 }
 
 cvec Environment::propagate(std::span<const cplx> signal, dsp::Rng& rng) const {
+  cvec out;
+  propagate_into(out, signal, rng);
+  return out;
+}
+
+void Environment::propagate_into(cvec& out, std::span<const cplx> signal,
+                                 dsp::Rng& rng) const {
   CTC_TELEM_TIMER("channel", "propagate");
   CTC_TELEM_COUNT("channel", "frames", 1);
   CTC_TELEM_COUNT("channel", "samples", signal.size());
   CTC_TELEM_GAUGE("channel", "snr_db", effective_snr_db());
-  cvec current(signal.begin(), signal.end());
+  out.assign(signal.begin(), signal.end());
   if (multipath) {
     CTC_TELEM_COUNT("channel", "multipath_fades", 1);
-    current = apply_multipath(current, draw_multipath_taps(*multipath, rng));
+    apply_multipath_inplace(out, draw_multipath_taps(*multipath, rng));
   } else if (rician_k_factor) {
     CTC_TELEM_COUNT("channel", "rician_fades", 1);
-    current = apply_flat_fading(current, rician_tap(*rician_k_factor, rng));
+    apply_flat_fading_inplace(out, rician_tap(*rician_k_factor, rng));
   }
   const double phase =
       random_phase ? rng.uniform(0.0, kTwoPi) : phase_offset_rad;
   if (cfo_hz != 0.0 || phase != 0.0) {
-    current = apply_cfo(current, cfo_hz, sample_rate_hz, phase);
+    apply_cfo_inplace(out, cfo_hz, sample_rate_hz, phase);
   }
   if (timing_offset != 0.0) {
-    current = apply_timing_offset(current, timing_offset);
+    apply_timing_offset_inplace(out, timing_offset);
   }
   const double noise_variance = dsp::from_db(-effective_snr_db());
-  return add_noise_variance(current, noise_variance, rng);
+  add_noise_variance_inplace(out, noise_variance, rng);
 }
 
 Environment Environment::awgn(double snr_db) {

@@ -56,6 +56,14 @@ struct Environment {
   /// is what makes deep fades hurt.
   cvec propagate(std::span<const cplx> signal, dsp::Rng& rng) const;
 
+  /// Same channel into a caller-owned workspace (resized to the signal
+  /// length). Every stage runs in place on `out`, so hot loops that keep a
+  /// thread-local buffer pay zero channel allocations per frame. Bit-
+  /// identical to propagate(): same stage order, per-sample math and RNG
+  /// draw sequence.
+  void propagate_into(cvec& out, std::span<const cplx> signal,
+                      dsp::Rng& rng) const;
+
   static Environment awgn(double snr_db);
   static Environment real_world(double distance_m,
                                 double sample_rate_hz = 4.0e6);

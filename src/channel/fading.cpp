@@ -21,4 +21,8 @@ cvec apply_flat_fading(std::span<const cplx> signal, cplx tap) {
   return out;
 }
 
+void apply_flat_fading_inplace(std::span<cplx> signal, cplx tap) {
+  for (auto& x : signal) x *= tap;
+}
+
 }  // namespace ctc::channel

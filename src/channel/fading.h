@@ -23,4 +23,7 @@ cplx rician_tap(double k_factor, dsp::Rng& rng);
 /// Applies a single complex tap to the whole block (block fading).
 cvec apply_flat_fading(std::span<const cplx> signal, cplx tap);
 
+/// In-place variant — bit-identical to apply_flat_fading.
+void apply_flat_fading_inplace(std::span<cplx> signal, cplx tap);
+
 }  // namespace ctc::channel

@@ -30,6 +30,22 @@ cvec apply_timing_offset(std::span<const cplx> signal, double delay_fraction) {
   return out;
 }
 
+void apply_cfo_inplace(std::span<cplx> signal, double cfo_hz,
+                       double sample_rate_hz, double initial_phase_rad) {
+  dsp::Mixer mixer(cfo_hz, sample_rate_hz, initial_phase_rad);
+  mixer.process_inplace(signal);
+}
+
+void apply_timing_offset_inplace(std::span<cplx> signal,
+                                 double delay_fraction) {
+  CTC_REQUIRE(delay_fraction >= 0.0 && delay_fraction < 1.0);
+  // Backward so signal[i - 1] is still the original sample when read.
+  for (std::size_t i = signal.size(); i-- > 0;) {
+    const cplx previous = (i == 0) ? cplx{0.0, 0.0} : signal[i - 1];
+    signal[i] = signal[i] * (1.0 - delay_fraction) + previous * delay_fraction;
+  }
+}
+
 cvec apply_gain(std::span<const cplx> signal, double linear_gain) {
   cvec out(signal.begin(), signal.end());
   for (auto& x : out) x *= linear_gain;

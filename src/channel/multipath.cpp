@@ -38,4 +38,18 @@ cvec apply_multipath(std::span<const cplx> signal, std::span<const cplx> taps) {
   return out;
 }
 
+void apply_multipath_inplace(std::span<cplx> signal,
+                             std::span<const cplx> taps) {
+  CTC_REQUIRE(!taps.empty());
+  // Causal convolution reads only indices <= n, so sweeping n backward sees
+  // every signal[n - l] before it is overwritten. Same accumulation order
+  // per output sample as apply_multipath.
+  for (std::size_t n = signal.size(); n-- > 0;) {
+    cplx acc{0.0, 0.0};
+    const std::size_t depth = std::min(taps.size(), n + 1);
+    for (std::size_t l = 0; l < depth; ++l) acc += taps[l] * signal[n - l];
+    signal[n] = acc;
+  }
+}
+
 }  // namespace ctc::channel

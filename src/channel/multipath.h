@@ -30,4 +30,8 @@ cvec draw_multipath_taps(const MultipathProfile& profile, dsp::Rng& rng);
 /// n sums taps applied to inputs n, n-1, ...).
 cvec apply_multipath(std::span<const cplx> signal, std::span<const cplx> taps);
 
+/// In-place variant — bit-identical to apply_multipath (the backward sweep
+/// only reads predecessors that have not been overwritten yet).
+void apply_multipath_inplace(std::span<cplx> signal, std::span<const cplx> taps);
+
 }  // namespace ctc::channel

@@ -1,6 +1,10 @@
 #include "dsp/fft.h"
 
+#include <bit>
 #include <cmath>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "dsp/require.h"
 
@@ -30,7 +34,7 @@ FftPlan::FftPlan(std::size_t size) : size_(size) {
   }
 }
 
-void FftPlan::transform(cvec& data, bool invert) const {
+void FftPlan::transform(std::span<cplx> data, bool invert) const {
   for (std::size_t i = 0; i < size_; ++i) {
     const std::size_t j = bit_reverse_[i];
     if (i < j) std::swap(data[i], data[j]);
@@ -67,6 +71,46 @@ cvec FftPlan::inverse(std::span<const cplx> input) const {
   cvec data(input.begin(), input.end());
   transform(data, /*invert=*/true);
   return data;
+}
+
+void FftPlan::forward_inplace(std::span<cplx> data) const {
+  CTC_REQUIRE(data.size() == size_);
+  transform(data, /*invert=*/false);
+}
+
+void FftPlan::inverse_inplace(std::span<cplx> data) const {
+  CTC_REQUIRE(data.size() == size_);
+  transform(data, /*invert=*/true);
+}
+
+void FftPlan::forward_into(cvec& out, std::span<const cplx> input) const {
+  CTC_REQUIRE(input.size() == size_);
+  out.assign(input.begin(), input.end());
+  transform(out, /*invert=*/false);
+}
+
+void FftPlan::inverse_into(cvec& out, std::span<const cplx> input) const {
+  CTC_REQUIRE(input.size() == size_);
+  out.assign(input.begin(), input.end());
+  transform(out, /*invert=*/true);
+}
+
+const FftPlan& shared_fft_plan(std::size_t size) {
+  // Plans are immutable after construction, so concurrent users only need
+  // the map itself serialized; node pointers stay stable across rehashing.
+  static std::mutex mutex;
+  static std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> plans;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = plans.find(size);
+  if (it == plans.end()) {
+    it = plans.emplace(size, std::make_unique<FftPlan>(size)).first;
+  }
+  return *it->second;
+}
+
+std::size_t next_power_of_two(std::size_t n) {
+  if (n <= 1) return 1;
+  return std::size_t{1} << std::bit_width(n - 1);
 }
 
 cvec dft(std::span<const cplx> input) {

@@ -33,13 +33,35 @@ class FftPlan {
   /// Out-of-place inverse transform (includes the 1/N scaling).
   cvec inverse(std::span<const cplx> input) const;
 
+  /// In-place forward transform over a caller-owned buffer of exactly
+  /// size() samples — no allocation. Same convention as forward().
+  void forward_inplace(std::span<cplx> data) const;
+
+  /// In-place inverse transform (includes the 1/N scaling) — no allocation.
+  void inverse_inplace(std::span<cplx> data) const;
+
+  /// Out-of-place forward/inverse into a caller-provided buffer (resized to
+  /// size()); reusing `out` across calls amortizes the allocation away.
+  void forward_into(cvec& out, std::span<const cplx> input) const;
+  void inverse_into(cvec& out, std::span<const cplx> input) const;
+
  private:
-  void transform(cvec& data, bool invert) const;
+  void transform(std::span<cplx> data, bool invert) const;
 
   std::size_t size_;
   std::vector<std::size_t> bit_reverse_;
   cvec twiddles_;  // exp(-j 2 pi k / N) for k in [0, N/2)
 };
+
+/// Process-wide immutable plan cache: returns a reference to the shared
+/// FftPlan for `size` (power of two, >= 2), building it on first request.
+/// Thread-safe; returned references stay valid for the process lifetime.
+/// Hot-path users (FFT convolution, the emulator's 64-point transforms)
+/// go through here so repeated transforms never rebuild twiddle tables.
+const FftPlan& shared_fft_plan(std::size_t size);
+
+/// Smallest power of two >= n (n must be representable; n == 0 -> 1).
+std::size_t next_power_of_two(std::size_t n);
 
 /// O(n^2) reference DFT with the same convention as FftPlan::forward.
 cvec dft(std::span<const cplx> input);

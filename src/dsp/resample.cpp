@@ -19,7 +19,11 @@ cvec upsample(std::span<const cplx> input, std::size_t factor,
   std::size_t num_taps = factor * taps_per_phase + 1;
   if (num_taps % 2 == 0) ++num_taps;
   const rvec taps = design_lowpass(0.5 / static_cast<double>(factor), num_taps);
-  cvec out = filter_same(stuffed, taps);
+  // Pinned direct: the emulator's slot LUT keys on the exact upsampled
+  // samples, which relies on the direct form's bitwise time-invariance
+  // (identical input slots -> identical output slots). The FFT path is only
+  // ULP-equivalent and position-dependent, which would kill every LUT hit.
+  cvec out = filter_same(stuffed, taps, ConvolvePolicy::direct);
   // Restore amplitude lost to zero-stuffing.
   for (auto& value : out) value *= static_cast<double>(factor);
   return out;
@@ -33,7 +37,9 @@ cvec decimate(std::span<const cplx> input, std::size_t factor,
   std::size_t num_taps = factor * taps_per_phase + 1;
   if (num_taps % 2 == 0) ++num_taps;
   const rvec taps = design_lowpass(0.5 / static_cast<double>(factor), num_taps);
-  const cvec filtered = filter_same(input, taps);
+  // Pinned direct for the same time-invariance reason as upsample(): the
+  // decimated waveform flows into slot-keyed caches downstream.
+  const cvec filtered = filter_same(input, taps, ConvolvePolicy::direct);
   cvec out;
   out.reserve((input.size() + factor - 1) / factor);
   for (std::size_t i = 0; i < filtered.size(); i += factor) out.push_back(filtered[i]);
@@ -54,6 +60,15 @@ cvec Mixer::process(std::span<const cplx> block) {
     if (phase_ < -kTwoPi) phase_ += kTwoPi;
   }
   return out;
+}
+
+void Mixer::process_inplace(std::span<cplx> block) {
+  for (auto& x : block) {
+    x *= cplx{std::cos(phase_), std::sin(phase_)};
+    phase_ += step_;
+    if (phase_ > kTwoPi) phase_ -= kTwoPi;
+    if (phase_ < -kTwoPi) phase_ += kTwoPi;
+  }
 }
 
 void Mixer::reset(double phase) { phase_ = phase; }

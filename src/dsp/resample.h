@@ -35,6 +35,8 @@ class Mixer {
   Mixer(double freq_hz, double sample_rate_hz, double initial_phase = 0.0);
 
   cvec process(std::span<const cplx> block);
+  /// Same rotation applied in place — bit-identical to process().
+  void process_inplace(std::span<cplx> block);
   void reset(double phase = 0.0);
 
   double phase() const { return phase_; }

@@ -3,7 +3,13 @@
 // configurable channel environment (Sec. VII-B simulation settings).
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
 
 #include "attack/carrier_allocation.h"
 #include "attack/emulator.h"
@@ -30,6 +36,13 @@ struct LinkConfig {
   /// paper's simulation shortcut (common baseband) is used.
   bool attack_via_rf = false;
   attack::CarrierPlan carrier_plan;  ///< used when attack_via_rf
+  /// Memoize the clean (pre-channel) waveform and serialized PSDU per frame.
+  /// The synthesis chain (TX -> emulation -> normalization) is a pure
+  /// function of the frame bytes, so Monte Carlo sweeps that send the same
+  /// frame thousands of times pay for it once. The cached send() path is
+  /// bit-identical to the uncached one; the flag exists so the equivalence
+  /// tests can pin the reference path.
+  bool memoize_waveforms = true;
 };
 
 struct FrameObservation {
@@ -52,13 +65,41 @@ class Link {
   /// attack links. Unit average power.
   cvec clean_waveform(const zigbee::MacFrame& frame) const;
 
+  /// Fills the waveform cache for `frames` up front. The trial engine calls
+  /// this before fanning trials out so cache fills (and their synthesis
+  /// telemetry) happen serially in frame order rather than inside whichever
+  /// trial happens to run first — that keeps the telemetry JSON bit-stable
+  /// across thread counts. No-op when memoization is off.
+  void prime(std::span<const zigbee::MacFrame> frames) const;
+
   const LinkConfig& config() const { return config_; }
 
  private:
+  /// One memoized frame: the synthesis output plus the serialized PSDU the
+  /// success check compares against. call_once keeps the fill race-free
+  /// while holding only a shared lock on the map.
+  struct CachedFrame {
+    std::once_flag once;
+    cvec clean;
+    bytevec psdu;
+  };
+
+  /// Heap-allocated so Link stays movable (bench sweeps keep Links in
+  /// vectors); the mutex and entries move with the pointer.
+  struct WaveformCache {
+    std::shared_mutex mutex;
+    std::unordered_map<std::string, std::unique_ptr<CachedFrame>> entries;
+  };
+
+  const CachedFrame& cached_frame(const zigbee::MacFrame& frame) const;
+  /// The raw synthesis chain (no cache): body of the public clean_waveform.
+  cvec synthesize_waveform(const zigbee::MacFrame& frame) const;
+
   LinkConfig config_;
   zigbee::Transmitter transmitter_;
   zigbee::Receiver receiver_;
   attack::WaveformEmulator emulator_;
+  std::unique_ptr<WaveformCache> cache_ = std::make_unique<WaveformCache>();
 };
 
 }  // namespace ctc::sim

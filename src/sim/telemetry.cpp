@@ -92,6 +92,7 @@ struct Frame {
 
 thread_local Frame tls_frame;
 thread_local std::vector<Frame> tls_saved_frames;  // TrialScope nesting stack
+thread_local int tls_suppress_depth = 0;           // SuppressScope nesting
 
 // ---- global accumulator --------------------------------------------------
 // commit() and collect() both fold into here; the engine's reduction loop
@@ -134,6 +135,7 @@ MetricId register_metric(Kind kind, const char* stage, const char* name) {
 }
 
 void add_count(MetricId id, std::uint64_t delta) {
+  if (tls_suppress_depth != 0) return;
   Cell& cell = tls_frame.cell(id);
   const auto value = static_cast<double>(delta);
   if (cell.count == 0) {
@@ -148,6 +150,7 @@ void add_count(MetricId id, std::uint64_t delta) {
 }
 
 void observe(MetricId id, double value) {
+  if (tls_suppress_depth != 0) return;
   Cell& cell = tls_frame.cell(id);
   if (cell.count == 0) {
     cell.min = value;
@@ -161,6 +164,7 @@ void observe(MetricId id, double value) {
 }
 
 void record_histo(MetricId id, std::uint64_t value) {
+  if (tls_suppress_depth != 0) return;
   Cell& cell = tls_frame.cell(id);
   const auto as_double = static_cast<double>(value);
   if (cell.count == 0) {
@@ -207,6 +211,18 @@ TrialScope::~TrialScope() {
   for (MetricId id : trial_frame.touched) {
     tls_frame.cell(id).merge(trial_frame.cells[id]);
   }
+}
+
+bool in_trial_scope() { return !tls_saved_frames.empty(); }
+
+SuppressScope::SuppressScope() {
+  if (!enabled()) return;
+  active_ = true;
+  ++tls_suppress_depth;
+}
+
+SuppressScope::~SuppressScope() {
+  if (active_) --tls_suppress_depth;
 }
 
 void commit(TrialSnapshot&& snapshot) {

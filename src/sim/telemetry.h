@@ -155,6 +155,29 @@ class TrialScope {
 /// iff callers commit in a fixed order — the engine's reduction loop does.
 void commit(TrialSnapshot&& snapshot);
 
+/// True while the calling thread is inside an active TrialScope, i.e. the
+/// code is running as an engine trial whose telemetry will be committed in
+/// trial-index order.
+bool in_trial_scope();
+
+/// RAII guard that drops everything the calling thread records while it is
+/// alive. Shared lazily-built caches (e.g. the link's waveform cache) wrap
+/// their fill in one when the fill happens *inside* an engine trial: which
+/// trial wins the fill race is scheduling-dependent, so attributing the
+/// synthesis telemetry to it would make the merged double sums depend on
+/// thread count. Fills outside trials (Link::prime, serial callers) record
+/// normally. Nestable; inert while telemetry is disabled.
+class SuppressScope {
+ public:
+  SuppressScope();
+  ~SuppressScope();
+  SuppressScope(const SuppressScope&) = delete;
+  SuppressScope& operator=(const SuppressScope&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
 /// One metric with its accumulated cell, as returned by collect().
 struct MetricValue {
   std::string stage;

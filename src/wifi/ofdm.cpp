@@ -79,7 +79,11 @@ cvec assemble_symbol_grid(std::span<const cplx> data_points,
 cvec grid_to_time(std::span<const cplx> grid) {
   CTC_REQUIRE(grid.size() == kNumSubcarriers);
   static const dsp::FftPlan plan(kNumSubcarriers);
-  const cvec useful = plan.inverse(grid);
+  // Thread-local IFFT scratch: symbol assembly runs once per OFDM symbol in
+  // the emulation hot path, and the intermediate buffer dominated its
+  // allocations.
+  thread_local cvec useful;
+  plan.inverse_into(useful, grid);
   cvec symbol;
   symbol.reserve(kSymbolLength);
   symbol.insert(symbol.end(), useful.end() - kCyclicPrefixLength, useful.end());

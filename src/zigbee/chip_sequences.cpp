@@ -1,6 +1,7 @@
 #include "zigbee/chip_sequences.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "dsp/require.h"
 
@@ -44,6 +45,33 @@ const std::array<ChipSequence, kNumSymbols>& chip_table() {
 const ChipSequence& chips_for_symbol(std::uint8_t symbol) {
   CTC_REQUIRE(symbol < kNumSymbols);
   return chip_table()[symbol];
+}
+
+const std::array<PackedChips, kNumSymbols>& packed_chip_table() {
+  static const std::array<PackedChips, kNumSymbols> table = [] {
+    std::array<PackedChips, kNumSymbols> packed{};
+    const auto& rows = chip_table();
+    for (std::size_t s = 0; s < kNumSymbols; ++s) {
+      packed[s] = pack_chips(rows[s]);
+    }
+    return packed;
+  }();
+  return table;
+}
+
+PackedChips pack_chips(std::span<const std::uint8_t> chips) {
+  CTC_REQUIRE(chips.size() == kChipsPerSymbol);
+  PackedChips packed = 0;
+  for (std::size_t i = 0; i < kChipsPerSymbol; ++i) {
+    // Branchless so the pack loop pipelines; chip values are 0/1 but any
+    // nonzero byte counts as a 1 chip, matching hamming_distance().
+    packed |= static_cast<PackedChips>(chips[i] != 0) << i;
+  }
+  return packed;
+}
+
+std::size_t hamming_distance_packed(PackedChips a, PackedChips b) {
+  return static_cast<std::size_t>(std::popcount(a ^ b));
 }
 
 std::size_t hamming_distance(std::span<const std::uint8_t> received,

@@ -29,6 +29,21 @@ const ChipSequence& chips_for_symbol(std::uint8_t symbol);
 std::size_t hamming_distance(std::span<const std::uint8_t> received,
                              const ChipSequence& reference);
 
+/// A 32-chip sequence packed into one word: bit i holds chip i. The packed
+/// forms let the despreader compare a received block against a table row
+/// with one XOR + popcount instead of a 32-iteration byte loop.
+using PackedChips = std::uint32_t;
+
+/// The spreading table in packed form (row = symbol value).
+const std::array<PackedChips, kNumSymbols>& packed_chip_table();
+
+/// Packs a 32-chip sequence (nonzero byte -> 1 bit). Size must be 32.
+PackedChips pack_chips(std::span<const std::uint8_t> chips);
+
+/// Hamming distance of two packed sequences: popcount of the XOR. Agrees
+/// exactly with hamming_distance() on the byte forms.
+std::size_t hamming_distance_packed(PackedChips a, PackedChips b);
+
 /// Minimum pairwise Hamming distance over all distinct table rows
 /// (a property test pins this down; it bounds DSSS error resilience).
 std::size_t min_pairwise_distance();

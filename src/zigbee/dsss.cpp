@@ -1,8 +1,55 @@
 #include "zigbee/dsss.h"
 
+#include <bit>
+
 #include "dsp/require.h"
 
 namespace ctc::zigbee {
+
+namespace {
+
+// Differential-domain signatures of every candidate sequence, precomputed
+// once. For chips j >= 1 the predicted discriminator sign depends only on
+// the candidate:
+//   predicted_j = sign_j * (2 q[j-1] - 1)(2 q[j] - 1), sign_j = +1 (j odd).
+// Chip 0 additionally depends on the last chip of the previous symbol, so
+// each row carries two chip-0 variants (previous chip 0 / 1).
+struct DifferentialSignature {
+  PackedChips tail_bits = 0;                 // bits 1..31: predicted == +1
+  std::array<PackedChips, 2> chip0_bit{};    // bit 0 variant per previous chip
+};
+
+const std::array<DifferentialSignature, kNumSymbols>& differential_table() {
+  static const std::array<DifferentialSignature, kNumSymbols> table = [] {
+    std::array<DifferentialSignature, kNumSymbols> out{};
+    const auto& rows = chip_table();
+    for (std::size_t s = 0; s < kNumSymbols; ++s) {
+      const ChipSequence& q = rows[s];
+      for (std::size_t j = 1; j < kChipsPerSymbol; ++j) {
+        const int sign_j = (j % 2 == 1) ? 1 : -1;
+        const int predicted = sign_j * (2 * q[j - 1] - 1) * (2 * q[j] - 1);
+        if (predicted > 0) out[s].tail_bits |= PackedChips{1} << j;
+      }
+      for (std::uint8_t previous = 0; previous < 2; ++previous) {
+        const int predicted = -(2 * previous - 1) * (2 * q[0] - 1);  // sign_0 = -1
+        if (predicted > 0) out[s].chip0_bit[previous] = PackedChips{1};
+      }
+    }
+    return out;
+  }();
+  return table;
+}
+
+/// Packs the observed discriminator signs: bit j = (freq_chips[j] > 0).
+PackedChips pack_frequency_signs(std::span<const double> freq_chips) {
+  PackedChips packed = 0;
+  for (std::size_t j = 0; j < kChipsPerSymbol; ++j) {
+    if (freq_chips[j] > 0.0) packed |= PackedChips{1} << j;
+  }
+  return packed;
+}
+
+}  // namespace
 
 std::vector<std::uint8_t> spread(std::span<const std::uint8_t> symbols) {
   std::vector<std::uint8_t> chips;
@@ -16,6 +63,25 @@ std::vector<std::uint8_t> spread(std::span<const std::uint8_t> symbols) {
 
 DespreadResult despread_block(std::span<const std::uint8_t> chips,
                               std::size_t threshold) {
+  CTC_REQUIRE(chips.size() == kChipsPerSymbol);
+  DespreadResult result;
+  std::size_t best = kChipsPerSymbol + 1;
+  const PackedChips received = pack_chips(chips);
+  const auto& table = packed_chip_table();
+  for (std::size_t s = 0; s < kNumSymbols; ++s) {
+    const std::size_t distance = hamming_distance_packed(received, table[s]);
+    if (distance < best) {
+      best = distance;
+      result.symbol = static_cast<std::uint8_t>(s);
+    }
+  }
+  result.distance = best;
+  result.accepted = best <= threshold;
+  return result;
+}
+
+DespreadResult despread_block_reference(std::span<const std::uint8_t> chips,
+                                        std::size_t threshold) {
   CTC_REQUIRE(chips.size() == kChipsPerSymbol);
   DespreadResult result;
   std::size_t best = kChipsPerSymbol + 1;
@@ -35,6 +101,32 @@ DespreadResult despread_block(std::span<const std::uint8_t> chips,
 DespreadResult despread_differential_block(std::span<const double> freq_chips,
                                            std::uint8_t previous_chip,
                                            std::size_t threshold) {
+  CTC_REQUIRE(freq_chips.size() == kChipsPerSymbol);
+  DespreadResult result;
+  std::size_t best = kChipsPerSymbol + 1;
+  const PackedChips observed = pack_frequency_signs(freq_chips);
+  // No predecessor: chip 0 is excluded from every candidate's distance.
+  const PackedChips mask =
+      previous_chip > 1 ? ~PackedChips{1} : ~PackedChips{0};
+  const auto& table = differential_table();
+  for (std::size_t s = 0; s < kNumSymbols; ++s) {
+    PackedChips predicted = table[s].tail_bits;
+    if (previous_chip <= 1) predicted |= table[s].chip0_bit[previous_chip];
+    const std::size_t distance =
+        static_cast<std::size_t>(std::popcount((observed ^ predicted) & mask));
+    if (distance < best) {
+      best = distance;
+      result.symbol = static_cast<std::uint8_t>(s);
+    }
+  }
+  result.distance = best;
+  result.accepted = best <= threshold;
+  return result;
+}
+
+DespreadResult despread_differential_block_reference(
+    std::span<const double> freq_chips, std::uint8_t previous_chip,
+    std::size_t threshold) {
   CTC_REQUIRE(freq_chips.size() == kChipsPerSymbol);
   DespreadResult result;
   std::size_t best = kChipsPerSymbol + 1;

@@ -45,6 +45,26 @@ Receiver::Receiver(ReceiverConfig config)
   tx_config.samples_per_chip = config_.samples_per_chip;
   tx_config.normalize_power = false;  // reference amplitude = 1 per branch
   shr_reference_ = Transmitter(tx_config).shr_reference();
+
+  if (config_.timing_recovery && config_.precompute_timing_grid) {
+    // Same tau sequence and energy summation order as the per-frame search,
+    // so the cached grid reproduces its metrics bit-for-bit.
+    const std::size_t window =
+        kShrSymbols * kChipsPerSymbol * config_.samples_per_chip;
+    for (double tau = -config_.timing_search_range;
+         tau <= config_.timing_search_range + 1e-12;
+         tau += config_.timing_search_step) {
+      TimingReference entry;
+      entry.tau = tau;
+      entry.reference =
+          dsp::fractional_delay(std::span<const cplx>(shr_reference_), tau);
+      CTC_REQUIRE(entry.reference.size() >= window);
+      for (std::size_t i = 0; i < window; ++i) {
+        entry.window_energy += std::norm(entry.reference[i]);
+      }
+      timing_grid_.push_back(std::move(entry));
+    }
+  }
 }
 
 ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
@@ -57,22 +77,20 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
   if (waveform.size() < (header_chips + 1) * spc) return result;
 
   // Clock recovery (Fig. 1): maximize the SHR correlation magnitude over a
-  // sub-sample timing grid, then undo the winning fractional delay.
-  cvec retimed;
+  // sub-sample timing grid, then undo the winning fractional delay. The
+  // shifted references (and their window energies) come from the grid
+  // precomputed at construction; the fallback re-derives them per call.
+  thread_local cvec retimed;
   if (config_.timing_recovery) {
     const std::size_t window = shr_chips * spc;
     double best_metric = -1.0;
     double best_offset = 0.0;
-    for (double tau = -config_.timing_search_range;
-         tau <= config_.timing_search_range + 1e-12;
-         tau += config_.timing_search_step) {
-      const cvec shifted_reference =
-          dsp::fractional_delay(std::span<const cplx>(shr_reference_), tau);
+    const auto score_candidate = [&](double tau,
+                                     std::span<const cplx> shifted_reference,
+                                     double reference_energy) {
       cplx correlation{0.0, 0.0};
-      double reference_energy = 0.0;
       for (std::size_t i = 0; i < window; ++i) {
         correlation += waveform[i] * std::conj(shifted_reference[i]);
-        reference_energy += std::norm(shifted_reference[i]);
       }
       // Normalize: linear interpolation attenuates the shifted reference,
       // which would otherwise bias the search toward tau = 0.
@@ -81,6 +99,23 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
       if (metric > best_metric) {
         best_metric = metric;
         best_offset = tau;
+      }
+    };
+    if (!timing_grid_.empty()) {
+      for (const TimingReference& entry : timing_grid_) {
+        score_candidate(entry.tau, entry.reference, entry.window_energy);
+      }
+    } else {
+      for (double tau = -config_.timing_search_range;
+           tau <= config_.timing_search_range + 1e-12;
+           tau += config_.timing_search_step) {
+        const cvec shifted_reference =
+            dsp::fractional_delay(std::span<const cplx>(shr_reference_), tau);
+        double reference_energy = 0.0;
+        for (std::size_t i = 0; i < window; ++i) {
+          reference_energy += std::norm(shifted_reference[i]);
+        }
+        score_candidate(tau, shifted_reference, reference_energy);
       }
     }
     if (best_offset != 0.0) {
@@ -92,8 +127,11 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
 
   // Data-aided channel estimate over the SHR window: h = <r, ref> / ||ref||^2.
   // The coherent path needs it; the discriminator path is gain/phase
-  // agnostic but shares the equalized buffer for simplicity.
-  cvec equalized(waveform.begin(), waveform.end());
+  // agnostic but shares the equalized buffer for simplicity. Thread-local
+  // scratch: receive() runs on every Monte Carlo trial, and this copy was
+  // the per-trial allocation high-water mark.
+  thread_local cvec equalized;
+  equalized.assign(waveform.begin(), waveform.end());
   if (config_.equalize) {
     cplx correlation{0.0, 0.0};
     double reference_energy = 0.0;

@@ -96,6 +96,12 @@ struct ReceiverConfig {
   /// Timing search half-range (fractions of a sample) and grid step.
   double timing_search_range = 0.5;
   double timing_search_step = 0.0625;
+  /// Build the fractional-delay reference grid once at construction instead
+  /// of re-deriving every shifted SHR reference per frame per tau. The
+  /// cached search is bit-identical to the per-call one (same tau sequence,
+  /// same summation order); the flag exists so the equivalence tests can
+  /// pin the reference path.
+  bool precompute_timing_grid = true;
 };
 
 class Receiver {
@@ -116,9 +122,19 @@ class Receiver {
   const ReceiverConfig& config() const { return config_; }
 
  private:
+  /// One clock-recovery candidate: the SHR reference delayed by tau, with
+  /// its correlation-window energy preaccumulated in the same order the
+  /// per-frame search would have used.
+  struct TimingReference {
+    double tau = 0.0;
+    cvec reference;
+    double window_energy = 0.0;
+  };
+
   ReceiverConfig config_;
   OqpskDemodulator demodulator_;
   cvec shr_reference_;
+  std::vector<TimingReference> timing_grid_;  ///< empty unless precomputed
 };
 
 }  // namespace ctc::zigbee

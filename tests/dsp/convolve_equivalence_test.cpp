@@ -1,0 +1,161 @@
+// Equivalence suite for the FFT convolution fast path (PERFORMANCE.md).
+//
+// FFT and direct convolution compute the same polynomial product in a
+// different floating-point summation order, so the two paths agree to a few
+// ULPs — never bitwise. These tests pin the tolerance contract (relative to
+// the signal scale) across odd/even/edge lengths, the dispatcher policy,
+// and the FirFilter streaming path that mixes FFT blocks with direct ones.
+#include "dsp/fir.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/require.h"
+#include "dsp/rng.h"
+
+namespace ctc::dsp {
+namespace {
+
+cvec random_signal(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  cvec out(size);
+  for (auto& x : out) x = rng.complex_gaussian(1.0);
+  return out;
+}
+
+rvec random_taps(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  rvec out(size);
+  for (auto& t : out) t = rng.uniform(-1.0, 1.0);
+  return out;
+}
+
+/// Max |a - b| over both outputs, normalized by the direct result's peak so
+/// the bound is scale-free.
+double max_relative_error(const cvec& direct, const cvec& fft) {
+  EXPECT_EQ(direct.size(), fft.size());
+  double peak = 0.0;
+  for (const cplx& x : direct) peak = std::max(peak, std::abs(x));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    worst = std::max(worst, std::abs(direct[i] - fft[i]));
+  }
+  return peak > 0.0 ? worst / peak : worst;
+}
+
+TEST(ConvolveEquivalenceTest, FftMatchesDirectAcrossLengths) {
+  // Odd/even/prime/power-of-two signal lengths against odd/even tap counts,
+  // including lengths right at the FFT padding boundary.
+  const std::size_t signal_sizes[] = {1, 2, 3, 17, 64, 127, 128, 129, 1000};
+  const std::size_t tap_sizes[] = {1, 2, 5, 16, 31, 64, 101};
+  std::uint64_t seed = 1;
+  for (std::size_t n : signal_sizes) {
+    for (std::size_t t : tap_sizes) {
+      const cvec signal = random_signal(n, seed);
+      const rvec taps = random_taps(t, seed + 1000);
+      ++seed;
+      const cvec direct = convolve_direct(signal, taps);
+      const cvec fft = convolve_fft(signal, taps);
+      ASSERT_EQ(direct.size(), n + t - 1);
+      EXPECT_LT(max_relative_error(direct, fft), 1e-12)
+          << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+TEST(ConvolveEquivalenceTest, FftMatchesDirectAtCrossoverScale) {
+  // A workload the dispatcher actually routes to the FFT path.
+  const std::size_t n = 4096;
+  const std::size_t t = 1025;
+  ASSERT_TRUE(use_fft_convolution(n, t));
+  const cvec signal = random_signal(n, 77);
+  const rvec taps = random_taps(t, 78);
+  EXPECT_LT(max_relative_error(convolve_direct(signal, taps),
+                               convolve_fft(signal, taps)),
+            1e-11);
+}
+
+TEST(ConvolveEquivalenceTest, DispatcherFollowsPolicy) {
+  // convolve() must route exactly per use_fft_convolution: below the
+  // crossover it returns the direct result bit-for-bit.
+  const cvec signal = random_signal(300, 5);
+  const rvec taps = random_taps(21, 6);
+  ASSERT_FALSE(use_fft_convolution(signal.size(), taps.size()));
+  const cvec dispatched = convolve(signal, taps);
+  const cvec direct = convolve_direct(signal, taps);
+  ASSERT_EQ(dispatched.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(dispatched[i], direct[i]) << "i=" << i;
+  }
+}
+
+TEST(ConvolveEquivalenceTest, PolicyKeepsShortFiltersDirect) {
+  // The per-trial receive path runs short matched filters; they must never
+  // pay the FFT constant factor (or lose bitwise time-invariance).
+  EXPECT_FALSE(use_fft_convolution(1 << 20, 15));
+  EXPECT_FALSE(use_fft_convolution(1 << 20, 101));
+  EXPECT_TRUE(use_fft_convolution(8192, 4097));
+  // Tiny signals never go FFT regardless of tap count.
+  EXPECT_FALSE(use_fft_convolution(16, 1024));
+}
+
+TEST(ConvolveEquivalenceTest, FilterSamePolicyPinsThePath) {
+  const cvec signal = random_signal(257, 9);
+  const rvec taps = random_taps(33, 10);
+  const cvec direct = filter_same(signal, taps, ConvolvePolicy::direct);
+  const cvec fft = filter_same(signal, taps, ConvolvePolicy::fft);
+  const cvec automatic = filter_same(signal, taps);
+  ASSERT_EQ(direct.size(), signal.size());
+  // automatic == direct bitwise here (below crossover), fft only close.
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(automatic[i], direct[i]) << "i=" << i;
+  }
+  EXPECT_LT(max_relative_error(direct, fft), 1e-12);
+}
+
+TEST(ConvolveEquivalenceTest, StreamingFftBlocksMatchDirectStreaming) {
+  // Push one block big enough for the FFT branch through FirFilter, with
+  // nonzero history, and compare against an identical filter kept on the
+  // direct path by splitting the block below the crossover.
+  const std::size_t t = 1025;
+  const rvec taps = random_taps(t, 20);
+  const cvec warmup = random_signal(t - 1, 21);
+  const cvec block = random_signal(4096, 22);
+  ASSERT_TRUE(use_fft_convolution(block.size() + t - 1, t));
+
+  FirFilter fast(taps);
+  FirFilter reference(taps);
+  // Identical warmup so both filters carry the same history.
+  (void)fast.process(warmup);
+  (void)reference.process(warmup);
+
+  const cvec fast_out = fast.process(block);
+  cvec reference_out;
+  for (std::size_t offset = 0; offset < block.size(); offset += 256) {
+    const std::size_t take = std::min<std::size_t>(256, block.size() - offset);
+    const cvec piece = reference.process(
+        std::span<const cplx>(block).subspan(offset, take));
+    reference_out.insert(reference_out.end(), piece.begin(), piece.end());
+  }
+  EXPECT_LT(max_relative_error(reference_out, fast_out), 1e-11);
+
+  // The history both filters carry forward must agree too: feed one more
+  // sub-crossover block (both take the direct branch) and compare.
+  const cvec tail = random_signal(64, 23);
+  const cvec fast_tail = fast.process(tail);
+  const cvec reference_tail = reference.process(tail);
+  EXPECT_LT(max_relative_error(reference_tail, fast_tail), 1e-11);
+}
+
+TEST(ConvolveEquivalenceTest, FftPathHandlesEdgeCases) {
+  EXPECT_TRUE(convolve_fft(cvec{}, rvec{1.0}).empty());
+  EXPECT_THROW(convolve_fft(random_signal(4, 30), rvec{}), ContractError);
+  // Single-sample signal and kernel.
+  const cvec one = convolve_fft(cvec{{2.0, -1.0}}, rvec{3.0});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_NEAR(std::abs(one[0] - cplx(6.0, -3.0)), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ctc::dsp

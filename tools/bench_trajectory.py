@@ -23,10 +23,33 @@ check    Gate: compute perf_engine throughput (trials / wall_ms_wide) for
 
              python3 tools/bench_trajectory.py check --trajectory BENCH_telemetry.json
 
+         Wall-clock throughput is only comparable between runs recorded on
+         the same machine, so ``append`` stamps each entry with a machine
+         fingerprint and ``check`` compares the latest run only against
+         earlier entries carrying the same fingerprint (entries without one,
+         from older trajectories, match anything).
+
+         Two machine-independent assertions complement the wall-clock gate
+         (speedup *ratios* within one report, or between two runs of the
+         same machine, transfer across hosts):
+
+         ``--require BENCH:FIELD>=VALUE`` asserts a numeric field of the
+         latest BENCH report (repeatable; ops ``>= <= > < ==``)::
+
+             ... check --trajectory t.json --require 'perf_hotpath:convolve_speedup>=1.5'
+
+         ``--require-speedup BENCH>=FACTOR`` asserts that the latest BENCH
+         run improved single-thread throughput by at least FACTOR over the
+         *earliest* same-machine BENCH run — the committed pre/post pair
+         that records an optimization PR's win.  Unlike the regression
+         check, this fails when no comparable pair exists: a gate that
+         cannot find its baseline must not silently pass.
+
 The trajectory file is a single JSON object ``{"trajectory_schema": 1,
-"runs": [...]}``; each entry is ``{"label": ..., "report": {...}}`` where
-``report`` is the bench's JSON verbatim.  Fewer than two perf_engine entries
-(a fresh trajectory, or a cache miss in CI) passes trivially.
+"runs": [...]}``; each entry is ``{"label": ..., "machine": ...,
+"report": {...}}`` where ``report`` is the bench's JSON verbatim.  Fewer
+than two perf_engine entries (a fresh trajectory, or a cache miss in CI)
+passes the regression check trivially.
 
 Standard library only — no third-party imports.
 """
@@ -35,10 +58,38 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
+import re
 import sys
 from pathlib import Path
 
 TRAJECTORY_SCHEMA = 1
+
+_REQUIRE_RE = re.compile(
+    r"^(?P<bench>[\w.-]+):(?P<field>[\w.]+)\s*(?P<op>>=|<=|==|>|<)\s*"
+    r"(?P<value>[-+0-9.eE]+)$")
+_SPEEDUP_RE = re.compile(r"^(?P<bench>[\w.-]+)\s*>=\s*(?P<factor>[-+0-9.eE]+)$")
+
+_OPS = {
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+    "==": lambda a, b: a == b,
+}
+
+
+def machine_fingerprint() -> str:
+    """Coarse host fingerprint: wall-clock numbers are only comparable
+    between runs that share it."""
+    return f"{platform.system()}-{platform.machine()}-{os.cpu_count()}cpu"
+
+
+def _same_machine(a: dict, b: dict) -> bool:
+    """Entries without a fingerprint (older trajectories) match anything."""
+    ma, mb = a.get("machine"), b.get("machine")
+    return ma is None or mb is None or ma == mb
 
 
 def _load_trajectory(path: Path) -> dict:
@@ -74,7 +125,9 @@ def cmd_append(args: argparse.Namespace) -> int:
     trajectory = _load_trajectory(trajectory_path)
     report = _load_run_report(Path(args.run))
     label = args.label if args.label else f"run-{len(trajectory['runs'])}"
-    trajectory["runs"].append({"label": label, "report": report})
+    machine = args.machine if args.machine else machine_fingerprint()
+    trajectory["runs"].append(
+        {"label": label, "machine": machine, "report": report})
     trajectory_path.write_text(
         json.dumps(trajectory, indent=2, sort_keys=False) + "\n",
         encoding="utf-8")
@@ -96,26 +149,128 @@ def _perf_throughput(report: dict) -> float | None:
     return float(trials) / float(wall_ms)
 
 
+def _single_thread_throughput(report: dict, bench: str) -> float | None:
+    """trials / single-thread wall ms for a report of ``bench``, else None."""
+    if report.get("bench") != bench:
+        return None
+    trials = report.get("trials")
+    wall_ms = report.get("wall_ms_threads1", report.get("wall_ms_wide"))
+    if not isinstance(trials, (int, float)) or not isinstance(wall_ms, (int, float)):
+        return None
+    if wall_ms <= 0:
+        return None
+    return float(trials) / float(wall_ms)
+
+
+def _check_regression(runs: list[dict], max_regression: float) -> bool:
+    """Wall-clock gate: latest perf_engine run vs the best earlier run on
+    the same machine. Passes trivially without a comparable pair (a fresh
+    trajectory, or the first run on a new machine)."""
+    perf = [entry for entry in runs
+            if _perf_throughput(entry.get("report", {})) is not None]
+    if len(perf) < 2:
+        print(f"only {len(perf)} perf_engine run(s) in trajectory; "
+              "nothing to compare — pass")
+        return True
+    latest_entry = perf[-1]
+    comparable = [entry for entry in perf[:-1]
+                  if _same_machine(entry, latest_entry)]
+    if not comparable:
+        print("no earlier perf_engine run on this machine; "
+              "wall-clock comparison skipped — pass")
+        return True
+    latest = _perf_throughput(latest_entry["report"])
+    best_entry = max(comparable,
+                     key=lambda entry: _perf_throughput(entry["report"]))
+    best = _perf_throughput(best_entry["report"])
+    drop = 1.0 - latest / best
+    print(f"perf_engine throughput (trials/ms): latest "
+          f"'{latest_entry.get('label', '?')}' = {latest:.3f}, best earlier "
+          f"'{best_entry.get('label', '?')}' = {best:.3f} "
+          f"({drop:+.1%} regression)")
+    if drop > max_regression:
+        print(f"FAIL: throughput dropped {drop:.1%} > "
+              f"{max_regression:.0%} allowed", file=sys.stderr)
+        return False
+    return True
+
+
+def _check_require(runs: list[dict], expr: str) -> bool:
+    """--require BENCH:FIELD OP VALUE against the latest BENCH report.
+    Missing bench or field fails: an unverifiable assertion is a failure,
+    not a pass."""
+    match = _REQUIRE_RE.match(expr)
+    if not match:
+        raise SystemExit(f"--require {expr!r}: expected BENCH:FIELD>=VALUE")
+    bench, field = match["bench"], match["field"]
+    op, bound = match["op"], float(match["value"])
+    latest = None
+    for entry in runs:
+        if entry.get("report", {}).get("bench") == bench:
+            latest = entry
+    if latest is None:
+        print(f"FAIL: --require {expr!r}: no {bench} run in trajectory",
+              file=sys.stderr)
+        return False
+    value = latest["report"].get(field)
+    if not isinstance(value, (int, float)):
+        print(f"FAIL: --require {expr!r}: latest {bench} run "
+              f"'{latest.get('label', '?')}' has no numeric field "
+              f"{field!r}", file=sys.stderr)
+        return False
+    ok = _OPS[op](float(value), bound)
+    status = "ok" if ok else "FAIL"
+    print(f"{status}: {bench}:{field} = {value:g} (required {op} {bound:g})",
+          file=sys.stdout if ok else sys.stderr)
+    return ok
+
+
+def _check_require_speedup(runs: list[dict], expr: str) -> bool:
+    """--require-speedup BENCH>=FACTOR: latest vs earliest same-machine
+    BENCH run by single-thread throughput. Fails when the pair does not
+    exist — this gate certifies a recorded pre/post win, so a missing
+    baseline means the record is broken."""
+    match = _SPEEDUP_RE.match(expr)
+    if not match:
+        raise SystemExit(
+            f"--require-speedup {expr!r}: expected BENCH>=FACTOR")
+    bench, factor = match["bench"], float(match["factor"])
+    entries = [entry for entry in runs
+               if _single_thread_throughput(entry.get("report", {}), bench)
+               is not None]
+    if not entries:
+        print(f"FAIL: --require-speedup {expr!r}: no {bench} run in "
+              "trajectory", file=sys.stderr)
+        return False
+    latest = entries[-1]
+    baselines = [entry for entry in entries[:-1]
+                 if _same_machine(entry, latest)]
+    if not baselines:
+        print(f"FAIL: --require-speedup {expr!r}: no earlier {bench} run "
+              f"on machine {latest.get('machine', '?')!r} to compare "
+              "against", file=sys.stderr)
+        return False
+    baseline = baselines[0]
+    speedup = (_single_thread_throughput(latest["report"], bench)
+               / _single_thread_throughput(baseline["report"], bench))
+    ok = speedup >= factor
+    status = "ok" if ok else "FAIL"
+    print(f"{status}: {bench} single-thread speedup "
+          f"'{baseline.get('label', '?')}' -> '{latest.get('label', '?')}' "
+          f"= {speedup:.2f}x (required >= {factor:g}x)",
+          file=sys.stdout if ok else sys.stderr)
+    return ok
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     trajectory = _load_trajectory(Path(args.trajectory))
-    perf_runs = [(entry.get("label", "?"), throughput)
-                 for entry in trajectory["runs"]
-                 if (throughput := _perf_throughput(entry.get("report", {})))
-                 is not None]
-    if len(perf_runs) < 2:
-        print(f"only {len(perf_runs)} perf_engine run(s) in trajectory; "
-              "nothing to compare — pass")
-        return 0
-
-    latest_label, latest = perf_runs[-1]
-    best_label, best = max(perf_runs[:-1], key=lambda item: item[1])
-    drop = 1.0 - latest / best
-    print(f"perf_engine throughput (trials/ms): latest '{latest_label}' = "
-          f"{latest:.3f}, best earlier '{best_label}' = {best:.3f} "
-          f"({drop:+.1%} regression)")
-    if drop > args.max_regression:
-        print(f"FAIL: throughput dropped {drop:.1%} > "
-              f"{args.max_regression:.0%} allowed", file=sys.stderr)
+    runs = trajectory["runs"]
+    ok = _check_regression(runs, args.max_regression)
+    for expr in args.require:
+        ok = _check_require(runs, expr) and ok
+    for expr in args.require_speedup:
+        ok = _check_require_speedup(runs, expr) and ok
+    if not ok:
         return 1
     print("pass")
     return 0
@@ -132,12 +287,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="trajectory JSON file (created if missing)")
     append.add_argument("--label", default="",
                         help="label for this run (default: run-<index>)")
+    append.add_argument("--machine", default="",
+                        help="machine fingerprint for this run "
+                             "(default: auto-detected)")
     append.set_defaults(func=cmd_append)
 
     check = sub.add_parser("check", help="fail on perf_engine throughput regression")
     check.add_argument("--trajectory", required=True)
     check.add_argument("--max-regression", type=float, default=0.25,
                        help="maximum tolerated fractional drop (default 0.25)")
+    check.add_argument("--require", action="append", default=[],
+                       metavar="BENCH:FIELD>=VALUE",
+                       help="assert a numeric field of the latest BENCH "
+                            "report (machine-independent; repeatable)")
+    check.add_argument("--require-speedup", action="append", default=[],
+                       metavar="BENCH>=FACTOR",
+                       help="assert latest vs earliest same-machine BENCH "
+                            "single-thread throughput ratio (repeatable)")
     check.set_defaults(func=cmd_check)
 
     args = parser.parse_args(argv)

@@ -64,6 +64,9 @@ CLOCK_ALLOWLIST = {
         "never diffed for determinism)",
     "bench/ablation_likelihood.cpp":
         "latency ablation: reports per-call wall time by design",
+    "bench/perf_hotpath.cpp":
+        "kernel micro-bench: wall time IS the measurand (trajectory-gated, "
+        "never diffed for determinism)",
 }
 TELEM_ALLOWLIST = {
     "src/sim/telemetry.h": "defines the timer machinery",

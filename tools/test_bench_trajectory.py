@@ -34,18 +34,26 @@ class TrajectoryTestCase(unittest.TestCase):
                         encoding="utf-8")
         return path
 
-    def append(self, report: dict, label: str = "") -> int:
+    def append(self, report: dict, label: str = "", machine: str = "") -> int:
         run = self.write_run(report)
         argv = ["append", "--run", str(run), "--trajectory",
                 str(self.trajectory)]
         if label:
             argv += ["--label", label]
+        if machine:
+            argv += ["--machine", machine]
         return bench_trajectory.main(argv)
 
-    def check(self, max_regression: float | None = None) -> int:
+    def check(self, max_regression: float | None = None,
+              require: list[str] | None = None,
+              require_speedup: list[str] | None = None) -> int:
         argv = ["check", "--trajectory", str(self.trajectory)]
         if max_regression is not None:
             argv += ["--max-regression", str(max_regression)]
+        for expr in require or []:
+            argv += ["--require", expr]
+        for expr in require_speedup or []:
+            argv += ["--require-speedup", expr]
         return bench_trajectory.main(argv)
 
     # -- append ---------------------------------------------------------------
@@ -123,6 +131,90 @@ class TrajectoryTestCase(unittest.TestCase):
         self.append(perf_report(100, 10.0))
         self.assertEqual(self.check(), 0)  # only one usable run -> pass
 
+    # -- machine awareness ----------------------------------------------------
+
+    def test_append_stamps_machine_fingerprint(self) -> None:
+        self.append(perf_report(100, 10.0))
+        self.append(perf_report(100, 10.0), machine="ci-runner")
+        data = json.loads(self.trajectory.read_text(encoding="utf-8"))
+        self.assertEqual(data["runs"][0]["machine"],
+                         bench_trajectory.machine_fingerprint())
+        self.assertEqual(data["runs"][1]["machine"], "ci-runner")
+
+    def test_check_skips_wall_comparison_across_machines(self) -> None:
+        # A 50% drop vs a *different* machine's run must not fail — wall
+        # clock only compares within one fingerprint.
+        self.append(perf_report(100, 10.0), "dev", machine="dev-box")
+        self.append(perf_report(100, 20.0), "ci", machine="ci-runner")
+        self.assertEqual(self.check(), 0)
+        # Same drop on the same machine still fails.
+        self.append(perf_report(100, 10.0), "ci-base", machine="ci-runner")
+        self.append(perf_report(100, 20.0), "ci-slow", machine="ci-runner")
+        self.assertEqual(self.check(), 1)
+
+    def test_check_treats_untagged_legacy_entries_as_comparable(self) -> None:
+        # Entries written before machine stamping (edited in by hand here)
+        # must keep gating runs from any machine.
+        data = {"trajectory_schema": 1, "runs": [
+            {"label": "legacy", "report": perf_report(100, 10.0)},
+        ]}
+        self.trajectory.write_text(json.dumps(data), encoding="utf-8")
+        self.append(perf_report(100, 20.0), "now", machine="ci-runner")
+        self.assertEqual(self.check(), 1)
+
+    # -- --require ------------------------------------------------------------
+
+    def hotpath_report(self, convolve: float, despread: float) -> dict:
+        return {"bench": "perf_hotpath", "convolve_speedup": convolve,
+                "despread_speedup": despread}
+
+    def test_require_asserts_on_latest_report_of_bench(self) -> None:
+        self.append(self.hotpath_report(0.5, 0.5), "old")
+        self.append(self.hotpath_report(7.0, 1.3), "new")
+        self.assertEqual(
+            self.check(require=["perf_hotpath:convolve_speedup>=1.5",
+                                "perf_hotpath:despread_speedup>=1.0"]), 0)
+        self.assertEqual(
+            self.check(require=["perf_hotpath:convolve_speedup>=10"]), 1)
+
+    def test_require_fails_on_missing_bench_or_field(self) -> None:
+        self.assertEqual(self.check(require=["perf_hotpath:x>=1"]), 1)
+        self.append(self.hotpath_report(7.0, 1.3))
+        self.assertEqual(self.check(require=["perf_hotpath:nope>=1"]), 1)
+
+    def test_require_rejects_malformed_expression(self) -> None:
+        self.append(self.hotpath_report(7.0, 1.3))
+        with self.assertRaises(SystemExit):
+            self.check(require=["not an expression"])
+
+    # -- --require-speedup ----------------------------------------------------
+
+    def test_require_speedup_certifies_pre_post_pair(self) -> None:
+        # 10 -> 2.5 ms for the same trial count: 4x single-thread speedup.
+        self.append(perf_report(100, 10.0), "pre", machine="dev-box")
+        self.append(perf_report(100, 2.5), "post", machine="dev-box")
+        self.assertEqual(self.check(require_speedup=["perf_engine>=2"]), 0)
+        self.assertEqual(self.check(require_speedup=["perf_engine>=5"]), 1)
+
+    def test_require_speedup_uses_threads1_wall_when_present(self) -> None:
+        pre = dict(perf_report(100, 2.0), wall_ms_threads1=10.0)
+        post = dict(perf_report(100, 2.0), wall_ms_threads1=4.0)
+        self.append(pre, "pre", machine="m")
+        self.append(post, "post", machine="m")
+        # wall_ms_wide is identical; only the threads1 field shows the 2.5x.
+        self.assertEqual(self.check(require_speedup=["perf_engine>=2.5"]), 0)
+        self.assertEqual(self.check(require_speedup=["perf_engine>=3"]), 1)
+
+    def test_require_speedup_fails_without_a_baseline(self) -> None:
+        # No run at all, then a run with no same-machine predecessor: both
+        # must fail — the gate certifies a recorded pair.
+        self.assertEqual(self.check(require_speedup=["perf_engine>=2"]), 1)
+        self.append(perf_report(100, 10.0), "pre", machine="dev-box")
+        self.assertEqual(self.check(require_speedup=["perf_engine>=2"]), 1)
+        self.append(perf_report(100, 2.0), "ci", machine="ci-runner")
+        self.assertEqual(self.check(require_speedup=["perf_engine>=2"]), 1)
+
 
 if __name__ == "__main__":
     unittest.main()
+
