@@ -17,9 +17,12 @@
 
 #include "bench_common.h"
 #include "dsp/fir.h"
+#include "dsp/kernels/kernels.h"
+#include "dsp/pulse.h"
 #include "dsp/rng.h"
 #include "sim/link.h"
 #include "zigbee/app.h"
+#include "zigbee/chip_sequences.h"
 #include "zigbee/dsss.h"
 #include "zigbee/receiver.h"
 #include "zigbee/transmitter.h"
@@ -171,9 +174,134 @@ int main(int argc, char** argv) {
                  sim::Table::num(clean_cached_ms, 3) + " ms",
                  sim::Table::num(clean_uncached_ms / clean_cached_ms, 2) + "x"});
 
+  // -- dsp::kernels: scalar table vs best dispatched table ------------------
+  // Times each hot kernel at both dispatch levels on the same buffers and
+  // reports ns/sample alongside the ratio. Levels are requested explicitly
+  // (not via CTC_SIMD) so the bench output is independent of the
+  // environment; on a machine without AVX2 both columns run the scalar
+  // table and the ratios sit at ~1.
+  const dsp::kernels::SimdLevel best_level =
+      dsp::kernels::best_supported_level();
+  const dsp::kernels::KernelTable& scalar_kt =
+      dsp::kernels::table(dsp::kernels::SimdLevel::scalar);
+  const dsp::kernels::KernelTable& best_kt = dsp::kernels::table(best_level);
+
+  struct KernelTiming {
+    std::string key;      // JSON prefix, e.g. "fir_kernel"
+    std::string label;    // table row label
+    double scalar_ms = 0.0;
+    double simd_ms = 0.0;
+    std::size_t samples = 0;  // per run, for ns/sample
+  };
+  std::vector<KernelTiming> kernel_timings;
+  const auto time_kernel = [&](std::string key, std::string label,
+                               std::size_t samples, auto&& run) {
+    KernelTiming timing;
+    timing.key = std::move(key);
+    timing.label = std::move(label);
+    timing.samples = samples;
+    timing.scalar_ms = time_ms(reps, [&] { run(scalar_kt); });
+    timing.simd_ms = time_ms(reps, [&] { run(best_kt); });
+    kernel_timings.push_back(std::move(timing));
+  };
+
+  // fir_mac: the pulse-shaping shape (short real taps over a long burst).
+  {
+    const std::size_t n = 16384, t = 9;
+    cvec sig(n);
+    for (auto& x : sig) x = rng.complex_gaussian(1.0);
+    rvec fir_taps(t);
+    for (auto& v : fir_taps) v = rng.uniform(-1.0, 1.0);
+    cvec out(n + t - 1);
+    time_kernel("fir_kernel", "kernel fir_mac (n=16384, t=9)", n,
+                [&](const dsp::kernels::KernelTable& kt) {
+                  std::fill(out.begin(), out.end(), cplx{0.0, 0.0});
+                  kt.fir_mac(sig.data(), n, fir_taps.data(), t, out.data());
+                  g_sink = g_sink + out.back().real();
+                });
+  }
+
+  // rotate: the CFO mixer shape.
+  {
+    const std::size_t n = 65536;
+    cvec in(n), out(n);
+    for (auto& x : in) x = rng.complex_gaussian(1.0);
+    time_kernel("rotate_kernel", "kernel rotate (n=65536)", n,
+                [&](const dsp::kernels::KernelTable& kt) {
+                  g_sink = g_sink + kt.rotate(in.data(), n, out.data(), 0.25,
+                                              1e-3);
+                });
+  }
+
+  // oqpsk_mf: matched filter over a long chip stream at 4 samples/chip.
+  {
+    const std::size_t spc = 4, num_chips = 16384;
+    const rvec pulse = dsp::half_sine_pulse(spc);
+    double pulse_energy = 0.0;
+    for (double p : pulse) pulse_energy += p * p;
+    cvec wave((num_chips + 1) * spc);
+    for (auto& x : wave) x = rng.complex_gaussian(1.0);
+    rvec soft(num_chips);
+    time_kernel("oqpsk_mf_kernel", "kernel oqpsk_mf (16k chips, spc=4)",
+                num_chips * spc, [&](const dsp::kernels::KernelTable& kt) {
+                  kt.oqpsk_mf(wave.data(), num_chips, spc, pulse.data(),
+                              pulse.size(), pulse_energy, soft.data());
+                  g_sink = g_sink + soft.back();
+                });
+  }
+
+  // energy: the synchronizer's sliding-window reduction shape.
+  {
+    const std::size_t n = 65536;
+    cvec buf(n);
+    for (auto& x : buf) x = rng.complex_gaussian(1.0);
+    time_kernel("energy_kernel", "kernel energy (n=65536)", n,
+                [&](const dsp::kernels::KernelTable& kt) {
+                  g_sink = g_sink + kt.energy(buf.data(), n);
+                });
+  }
+
+  // despread_words: the packed-correlation core, all 16 rows per word.
+  {
+    const std::size_t blocks = chips.size() / zigbee::kChipsPerSymbol;
+    std::vector<std::uint32_t> packed(blocks);
+    best_kt.pack_hard_chips(chips.data(), blocks, packed.data());
+    std::vector<std::uint8_t> symbols(blocks), distances(blocks);
+    time_kernel("despread_kernel", "kernel despread_words (32k words)",
+                blocks * zigbee::kChipsPerSymbol,
+                [&](const dsp::kernels::KernelTable& kt) {
+                  kt.despread_words(packed.data(), blocks,
+                                    zigbee::packed_chip_table().data(),
+                                    ~std::uint32_t{0}, symbols.data(),
+                                    distances.data());
+                  g_sink = g_sink + static_cast<double>(distances.back());
+                });
+  }
+
+  // cumulant_acc: the defense feature-extraction reduction.
+  {
+    const std::size_t n = 65536;
+    cvec buf(n);
+    for (auto& x : buf) x = rng.complex_gaussian(1.0);
+    time_kernel("cumulant_kernel", "kernel cumulant_acc (n=65536)", n,
+                [&](const dsp::kernels::KernelTable& kt) {
+                  dsp::kernels::CumulantLanes lanes;
+                  kt.cumulant_acc(buf.data(), n, 0, &lanes);
+                  g_sink = g_sink + lanes.fold().sum_abs4;
+                });
+  }
+
+  for (const KernelTiming& timing : kernel_timings) {
+    table.add_row({timing.label, sim::Table::num(timing.scalar_ms, 3) + " ms",
+                   sim::Table::num(timing.simd_ms, 3) + " ms",
+                   sim::Table::num(timing.scalar_ms / timing.simd_ms, 2) +
+                       "x"});
+  }
+
   table.print();
 
   bench::JsonReport report(options, "perf_hotpath");
+  report.set("simd_level", std::string(dsp::kernels::level_name(best_level)));
   report.set("reps", static_cast<std::uint64_t>(reps));
   report.set("convolve_direct_ms", convolve_direct_ms);
   report.set("convolve_fft_ms", convolve_fft_ms);
@@ -187,6 +315,16 @@ int main(int argc, char** argv) {
   report.set("clean_uncached_ms", clean_uncached_ms);
   report.set("clean_cached_ms", clean_cached_ms);
   report.set("clean_speedup", clean_uncached_ms / clean_cached_ms);
+  for (const KernelTiming& timing : kernel_timings) {
+    const double per_sample = 1e6 / static_cast<double>(timing.samples);
+    report.set(timing.key + "_scalar_ms", timing.scalar_ms);
+    report.set(timing.key + "_simd_ms", timing.simd_ms);
+    report.set(timing.key + "_speedup", timing.scalar_ms / timing.simd_ms);
+    report.set(timing.key + "_scalar_ns_per_sample",
+               timing.scalar_ms * per_sample);
+    report.set(timing.key + "_simd_ns_per_sample",
+               timing.simd_ms * per_sample);
+  }
   bench::finish(report, options);
   return 0;
 }

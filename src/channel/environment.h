@@ -14,6 +14,7 @@
 #include "channel/fading.h"
 #include "channel/multipath.h"
 #include "channel/pathloss.h"
+#include "dsp/batch.h"
 #include "dsp/rng.h"
 #include "dsp/types.h"
 
@@ -63,6 +64,16 @@ struct Environment {
   /// draw sequence.
   void propagate_into(cvec& out, std::span<const cplx> signal,
                       dsp::Rng& rng) const;
+
+  /// Batched (SoA) channel: pushes `rngs.size()` independent realizations
+  /// of the same frame through the channel, one batch row per trial. Stages
+  /// run stage-major (fading over all rows, then CFO/phase, then timing,
+  /// then noise), but each row consumes ONLY its own RNG stream and in the
+  /// same draw order as propagate_into() (fade -> phase -> noise), so row
+  /// r is bit-for-bit the serial propagate(signal, rngs[r]) result. `out`
+  /// is reshaped to rngs.size() x signal.size().
+  void propagate_batch(dsp::BatchBuffer& out, std::span<const cplx> signal,
+                       std::span<dsp::Rng> rngs) const;
 
   static Environment awgn(double snr_db);
   static Environment real_world(double distance_m,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dsp/kernels/kernels.h"
 #include "dsp/require.h"
 #include "dsp/resample.h"
 
@@ -10,7 +11,7 @@ namespace ctc::channel {
 cvec apply_phase_offset(std::span<const cplx> signal, double phase_rad) {
   const cplx rotation{std::cos(phase_rad), std::sin(phase_rad)};
   cvec out(signal.begin(), signal.end());
-  for (auto& x : out) x *= rotation;
+  dsp::kernels::active().cscale(out.data(), out.size(), rotation);
   return out;
 }
 
@@ -22,11 +23,8 @@ cvec apply_cfo(std::span<const cplx> signal, double cfo_hz, double sample_rate_h
 
 cvec apply_timing_offset(std::span<const cplx> signal, double delay_fraction) {
   CTC_REQUIRE(delay_fraction >= 0.0 && delay_fraction < 1.0);
-  cvec out(signal.size());
-  for (std::size_t i = 0; i < signal.size(); ++i) {
-    const cplx previous = (i == 0) ? cplx{0.0, 0.0} : signal[i - 1];
-    out[i] = signal[i] * (1.0 - delay_fraction) + previous * delay_fraction;
-  }
+  cvec out(signal.begin(), signal.end());
+  apply_timing_offset_inplace(out, delay_fraction);
   return out;
 }
 
@@ -39,16 +37,15 @@ void apply_cfo_inplace(std::span<cplx> signal, double cfo_hz,
 void apply_timing_offset_inplace(std::span<cplx> signal,
                                  double delay_fraction) {
   CTC_REQUIRE(delay_fraction >= 0.0 && delay_fraction < 1.0);
-  // Backward so signal[i - 1] is still the original sample when read.
-  for (std::size_t i = signal.size(); i-- > 0;) {
-    const cplx previous = (i == 0) ? cplx{0.0, 0.0} : signal[i - 1];
-    signal[i] = signal[i] * (1.0 - delay_fraction) + previous * delay_fraction;
-  }
+  // Backward two-tap sweep; the kernel keeps the explicit fl(0 * d) add on
+  // the first sample, matching the legacy `previous = {0, 0}` loop.
+  dsp::kernels::active().two_tap(signal.data(), signal.size(),
+                                 1.0 - delay_fraction, delay_fraction);
 }
 
 cvec apply_gain(std::span<const cplx> signal, double linear_gain) {
   cvec out(signal.begin(), signal.end());
-  for (auto& x : out) x *= linear_gain;
+  dsp::kernels::active().rscale(out.data(), out.size(), linear_gain);
   return out;
 }
 

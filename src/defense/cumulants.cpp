@@ -32,30 +32,25 @@ double CumulantEstimates::normalized_c42(double noise_variance) const {
   return c42 / (denom * denom);
 }
 
+CumulantEstimates estimates_from_sums(const dsp::kernels::CumulantSums& sums,
+                                      std::size_t count) {
+  CTC_REQUIRE_MSG(count >= 4, "need at least 4 samples");
+  const auto n = static_cast<double>(count);
+  CumulantEstimates est;
+  est.c20 = sums.sum_x2 / n;
+  est.c21 = sums.sum_abs2 / n;
+  est.c40 = sums.sum_x4 / n - 3.0 * est.c20 * est.c20;
+  est.c41 = sums.sum_x3_conj / n - 3.0 * est.c20 * est.c21;
+  est.c42 = sums.sum_abs4 / n - std::norm(est.c20) - 2.0 * est.c21 * est.c21;
+  return est;
+}
+
 CumulantEstimates estimate_cumulants(std::span<const cplx> samples) {
   CTC_REQUIRE_MSG(samples.size() >= 4, "need at least 4 samples");
-  const auto count = static_cast<double>(samples.size());
-  cplx sum_x2{0.0, 0.0};
-  cplx sum_x4{0.0, 0.0};
-  cplx sum_x3_conj{0.0, 0.0};
-  double sum_abs2 = 0.0;
-  double sum_abs4 = 0.0;
-  for (const cplx& x : samples) {
-    const cplx x2 = x * x;
-    const double abs2 = std::norm(x);
-    sum_x2 += x2;
-    sum_x4 += x2 * x2;
-    sum_x3_conj += x2 * x * std::conj(x);
-    sum_abs2 += abs2;
-    sum_abs4 += abs2 * abs2;
-  }
-  CumulantEstimates est;
-  est.c20 = sum_x2 / count;
-  est.c21 = sum_abs2 / count;
-  est.c40 = sum_x4 / count - 3.0 * est.c20 * est.c20;
-  est.c41 = sum_x3_conj / count - 3.0 * est.c20 * est.c21;
-  est.c42 = sum_abs4 / count - std::norm(est.c20) - 2.0 * est.c21 * est.c21;
-  return est;
+  dsp::kernels::CumulantLanes lanes;
+  dsp::kernels::active().cumulant_acc(samples.data(), samples.size(), 0,
+                                      &lanes);
+  return estimates_from_sums(lanes.fold(), samples.size());
 }
 
 TheoreticalCumulants theoretical_cumulants(ModulationClass modulation) {

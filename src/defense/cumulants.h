@@ -2,9 +2,11 @@
 // and the theoretical constellation cumulants of Table III (Swami & Sadler).
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <string>
 
+#include "dsp/kernels/kernels.h"
 #include "dsp/types.h"
 
 namespace ctc::defense {
@@ -27,7 +29,15 @@ struct CumulantEstimates {
 };
 
 /// Computes the sample estimates over `samples` (requires >= 4 samples).
+/// Accumulation runs through the dispatched dsp::kernels cumulant path
+/// (lane-structured, bitwise identical across SIMD levels).
 CumulantEstimates estimate_cumulants(std::span<const cplx> samples);
+
+/// Turns folded kernel-layer running sums into the Eq. 8-9 estimates.
+/// StreamingCumulants and estimate_cumulants() both finish through this one
+/// function, which is what makes streaming-vs-batch results bit-identical.
+CumulantEstimates estimates_from_sums(const dsp::kernels::CumulantSums& sums,
+                                      std::size_t count);
 
 /// Constellations of Table III.
 enum class ModulationClass {

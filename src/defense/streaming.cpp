@@ -1,35 +1,32 @@
 #include "defense/streaming.h"
 
 #include <cmath>
+#include <vector>
 
+#include "defense/cumulants.h"
 #include "dsp/require.h"
 #include "sim/telemetry.h"
 
 namespace ctc::defense {
 
 void StreamingCumulants::push(cplx sample) {
-  const cplx x2 = sample * sample;
-  const double abs2 = std::norm(sample);
-  sum_x2_ += x2;
-  sum_x4_ += x2 * x2;
-  sum_x3_conj_ += x2 * sample * std::conj(sample);
-  sum_abs2_ += abs2;
-  sum_abs4_ += abs2 * abs2;
+  // Routed through the kernel layer (not an inline expression here) so the
+  // per-sample rounding structure is the contract-pinned one, identical to
+  // push_block() and to batch estimate_cumulants().
+  dsp::kernels::active().cumulant_acc(&sample, 1, count_, &lanes_);
   ++count_;
+}
+
+void StreamingCumulants::push_block(std::span<const cplx> samples) {
+  dsp::kernels::active().cumulant_acc(samples.data(), samples.size(), count_,
+                                      &lanes_);
+  count_ += samples.size();
 }
 
 void StreamingCumulants::reset() { *this = StreamingCumulants{}; }
 
 CumulantEstimates StreamingCumulants::estimates() const {
-  CTC_REQUIRE_MSG(count_ >= 4, "need at least 4 samples");
-  const auto n = static_cast<double>(count_);
-  CumulantEstimates est;
-  est.c20 = sum_x2_ / n;
-  est.c21 = sum_abs2_ / n;
-  est.c40 = sum_x4_ / n - 3.0 * est.c20 * est.c20;
-  est.c41 = sum_x3_conj_ / n - 3.0 * est.c20 * est.c21;
-  est.c42 = sum_abs4_ / n - std::norm(est.c20) - 2.0 * est.c21 * est.c21;
-  return est;
+  return estimates_from_sums(lanes_.fold(), count_);
 }
 
 StreamingDetector::StreamingDetector(DetectorConfig config) : config_(config) {
@@ -41,14 +38,20 @@ void StreamingDetector::push_chips(std::span<const double> soft_chips) {
   const cplx rotation = config_.builder.rotate_to_axes
                             ? cplx{std::sqrt(0.5), -std::sqrt(0.5)}
                             : cplx{1.0, 0.0};
+  // Assemble the block's constellation points, then push them through the
+  // vectorized kernel in one call. The lane cursor inside StreamingCumulants
+  // makes this bit-identical to pushing one point at a time.
+  thread_local std::vector<cplx> points;
+  points.clear();
   for (double chip : soft_chips) {
     if (!pending_chip_) {
       pending_chip_ = chip;
       continue;
     }
-    cumulants_.push(cplx{*pending_chip_, chip} * rotation);
+    points.push_back(cplx{*pending_chip_, chip} * rotation);
     pending_chip_.reset();
   }
+  cumulants_.push_block(points);
 }
 
 std::optional<Verdict> StreamingDetector::verdict(std::size_t min_points) const {

@@ -18,9 +18,20 @@
 namespace ctc::defense {
 
 /// Online version of estimate_cumulants(): push samples, read estimates.
+///
+/// State is the kernel layer's lane-structured sums with the global sample
+/// count as the lane cursor, so any partition of a sample sequence into
+/// push()/push_block() calls lands every sample in the same lane — the
+/// estimates are bit-for-bit equal to estimate_cumulants() over the whole
+/// sequence, at every SIMD dispatch level.
 class StreamingCumulants {
  public:
   void push(cplx sample);
+
+  /// Bulk push through the vectorized kernel; same result as push() per
+  /// sample, amortized much faster.
+  void push_block(std::span<const cplx> samples);
+
   void reset();
 
   std::size_t count() const { return count_; }
@@ -31,11 +42,7 @@ class StreamingCumulants {
 
  private:
   std::size_t count_ = 0;
-  cplx sum_x2_{0.0, 0.0};
-  cplx sum_x4_{0.0, 0.0};
-  cplx sum_x3_conj_{0.0, 0.0};
-  double sum_abs2_ = 0.0;
-  double sum_abs4_ = 0.0;
+  dsp::kernels::CumulantLanes lanes_;
 };
 
 /// Online version of Detector: feed soft chips in any block sizes.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/fft.h"
+#include "dsp/kernels/kernels.h"
 #include "dsp/require.h"
 
 namespace ctc::dsp {
@@ -32,11 +33,19 @@ cvec convolve_direct(std::span<const cplx> signal, std::span<const double> taps)
   CTC_REQUIRE(!taps.empty());
   if (signal.empty()) return {};
   cvec out(signal.size() + taps.size() - 1, cplx{0.0, 0.0});
-  for (std::size_t i = 0; i < signal.size(); ++i) {
-    for (std::size_t j = 0; j < taps.size(); ++j) {
-      out[i + j] += signal[i] * taps[j];
-    }
-  }
+  kernels::active().fir_mac(signal.data(), signal.size(), taps.data(),
+                            taps.size(), out.data());
+  return out;
+}
+
+cvec convolve_direct_reference(std::span<const cplx> signal,
+                               std::span<const double> taps) {
+  CTC_REQUIRE(!taps.empty());
+  if (signal.empty()) return {};
+  cvec out(signal.size() + taps.size() - 1, cplx{0.0, 0.0});
+  kernels::table(kernels::SimdLevel::scalar)
+      .fir_mac(signal.data(), signal.size(), taps.data(), taps.size(),
+               out.data());
   return out;
 }
 
@@ -67,9 +76,7 @@ cvec convolve_fft(std::span<const cplx> signal, std::span<const double> taps) {
   }
   plan.forward_inplace(padded_signal);
   plan.forward_inplace(padded_taps);
-  for (std::size_t k = 0; k < fft_size; ++k) {
-    padded_signal[k] *= padded_taps[k];
-  }
+  kernels::active().cmul(padded_signal.data(), padded_taps.data(), fft_size);
   plan.inverse_inplace(padded_signal);
   return cvec(padded_signal.begin(),
               padded_signal.begin() + static_cast<std::ptrdiff_t>(out_size));

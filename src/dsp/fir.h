@@ -27,9 +27,17 @@ rvec design_lowpass(double cutoff, std::size_t num_taps,
 /// path via convolve_direct()/convolve_fft().
 cvec convolve(std::span<const cplx> signal, std::span<const double> taps);
 
-/// Reference O(n*t) time-domain convolution (the pre-optimization code path;
-/// the equivalence tests compare the FFT path against this).
+/// O(n*t) time-domain convolution through the dispatched dsp::kernels
+/// fir_mac (AVX2 gather with FMA when available). Exactly time-invariant at
+/// every dispatch level: outputs with a full tap window depend only on the
+/// window's sample values, never on position.
 cvec convolve_direct(std::span<const cplx> signal, std::span<const double> taps);
+
+/// Pinned pre-optimization scatter loop (the scalar kernel table); the
+/// equivalence tests compare the dispatched direct and FFT paths against
+/// this oracle.
+cvec convolve_direct_reference(std::span<const cplx> signal,
+                               std::span<const double> taps);
 
 /// FFT convolution: zero-pad both operands to the next power of two >=
 /// n + t - 1, multiply spectra, inverse transform. Uses the shared FftPlan

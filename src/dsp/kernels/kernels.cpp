@@ -1,0 +1,80 @@
+// Kernel dispatch: one CPUID probe + one CTC_SIMD env read per process.
+#include "dsp/kernels/kernels.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "dsp/kernels/kernels_internal.h"
+#include "dsp/require.h"
+
+namespace ctc::dsp::kernels {
+
+const char* level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::scalar: return "scalar";
+    case SimdLevel::avx2: return "avx2";
+  }
+  CTC_REQUIRE_MSG(false, "unknown SimdLevel");
+}
+
+CumulantSums CumulantLanes::fold() const {
+  // Fixed fold order (lane0 + lane2) + (lane1 + lane3): the AVX2 vertical
+  // register add followed by the horizontal pair add. Pure additions, so
+  // this is safe to compile anywhere (no contraction hazard).
+  CumulantSums out;
+  out.sum_x2 = (lane[0].sum_x2 + lane[2].sum_x2) +
+               (lane[1].sum_x2 + lane[3].sum_x2);
+  out.sum_x4 = (lane[0].sum_x4 + lane[2].sum_x4) +
+               (lane[1].sum_x4 + lane[3].sum_x4);
+  out.sum_x3_conj = (lane[0].sum_x3_conj + lane[2].sum_x3_conj) +
+                    (lane[1].sum_x3_conj + lane[3].sum_x3_conj);
+  out.sum_abs2 = (lane[0].sum_abs2 + lane[2].sum_abs2) +
+                 (lane[1].sum_abs2 + lane[3].sum_abs2);
+  out.sum_abs4 = (lane[0].sum_abs4 + lane[2].sum_abs4) +
+                 (lane[1].sum_abs4 + lane[3].sum_abs4);
+  return out;
+}
+
+SimdLevel best_supported_level() {
+  static const SimdLevel level = [] {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (detail::avx2_compiled() && __builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("fma")) {
+      return SimdLevel::avx2;
+    }
+#endif
+    return SimdLevel::scalar;
+  }();
+  return level;
+}
+
+const KernelTable& table(SimdLevel level) {
+  if (level == SimdLevel::avx2) {
+    CTC_REQUIRE_MSG(best_supported_level() == SimdLevel::avx2,
+                    "avx2 kernels requested on a CPU/build without AVX2+FMA");
+    return detail::avx2_table();
+  }
+  return detail::scalar_table();
+}
+
+SimdLevel active_level() {
+  static const SimdLevel level = [] {
+    const char* env = std::getenv("CTC_SIMD");
+    if (env == nullptr || *env == '\0') return best_supported_level();
+    const std::string_view choice(env);
+    if (choice == "scalar") return SimdLevel::scalar;
+    CTC_REQUIRE_MSG(choice == "avx2",
+                    "CTC_SIMD must be 'scalar' or 'avx2'");
+    CTC_REQUIRE_MSG(best_supported_level() == SimdLevel::avx2,
+                    "CTC_SIMD=avx2 but this CPU/build lacks AVX2+FMA");
+    return SimdLevel::avx2;
+  }();
+  return level;
+}
+
+const KernelTable& active() {
+  static const KernelTable& dispatched = table(active_level());
+  return dispatched;
+}
+
+}  // namespace ctc::dsp::kernels

@@ -1,0 +1,180 @@
+// Runtime-dispatched SIMD kernel layer for the complex hot loops.
+//
+// Every dense inner loop in the repo — FIR MAC, mixer rotation, matched
+// filtering, cumulant accumulation, energy reduction, packed-chip
+// correlation — funnels through the function-pointer table in this header.
+// The implementation level is chosen ONCE per process (first use) from
+// CPUID, and can be forced with the CTC_SIMD environment variable:
+//
+//     CTC_SIMD=scalar   portable reference implementations
+//     CTC_SIMD=avx2     AVX2+FMA implementations (fails loudly if the CPU
+//                       cannot execute them)
+//
+// Dispatch is a pure function of the environment and the CPU, never of the
+// calling thread, so a process is internally consistent: the CI determinism
+// gates (threads=1 vs N, shard partitions, kill/resume) compare runs of the
+// same binary in the same environment and therefore stay byte-identical.
+//
+// Equivalence contracts (each kernel documents which one it keeps; the
+// suite in tests/dsp/kernels_equivalence_test.cpp pins them):
+//
+//   bitwise    The scalar implementation mirrors the SIMD arithmetic
+//              structure exactly — same per-element expressions, no FMA
+//              contraction, and the documented fixed lane-fold order for
+//              reductions — so scalar and AVX2 agree bit for bit on every
+//              input. Integer kernels are trivially in this class.
+//
+//   tolerance  The scalar implementation is the pinned pre-optimization
+//              reference (the `*_reference` oracle pattern); the SIMD form
+//              uses FMA or algebraic rearrangement and agrees to a small
+//              relative tolerance.
+//
+// Reductions in the bitwise class accumulate into LANE structures: element
+// i of the input goes to lane (i mod L), each lane sums sequentially, and
+// the final fold is "vertical add of the register halves, then horizontal
+// add of adjacent pairs" — exactly what the AVX2 code does with two
+// accumulator registers. See fold helpers below.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dsp/types.h"
+
+namespace ctc::dsp::kernels {
+
+/// Implementation level of the kernel table.
+enum class SimdLevel {
+  scalar = 0,  ///< portable reference (always available)
+  avx2 = 1,    ///< AVX2 + FMA (x86-64 only)
+};
+
+/// Human-readable level name ("scalar" / "avx2").
+const char* level_name(SimdLevel level);
+
+/// Fourth-order cumulant running sums (the inputs of Eqs. 8-9):
+///   sum_x2 = sum x^2, sum_x4 = sum x^4, sum_x3_conj = sum x^3 conj(x),
+///   sum_abs2 = sum |x|^2, sum_abs4 = sum |x|^4.
+struct CumulantSums {
+  cplx sum_x2{0.0, 0.0};
+  cplx sum_x4{0.0, 0.0};
+  cplx sum_x3_conj{0.0, 0.0};
+  double sum_abs2 = 0.0;
+  double sum_abs4 = 0.0;
+};
+
+/// Lane-structured cumulant accumulator: sample i contributes to lane
+/// (i mod 4) counted from the accumulator's birth (streaming callers carry
+/// the global sample count so partitioning a stream into blocks cannot
+/// change which lane a sample lands in). Folding the lanes in the fixed
+/// order (0+2)+(1+3) yields sums that are bit-identical across dispatch
+/// levels AND across any block partition of the same sample sequence.
+struct CumulantLanes {
+  CumulantSums lane[4];
+
+  /// Fixed-order fold: (lane0 + lane2) + (lane1 + lane3) per field.
+  CumulantSums fold() const;
+};
+
+/// The dispatched kernel table. All pointers are non-null at every level.
+struct KernelTable {
+  // -- FIR / convolution (tolerance) ---------------------------------------
+  /// Full convolution: accumulates signal (*) taps into `out`, which the
+  /// caller provides zero-initialized with n + t - 1 elements. Scalar is
+  /// the legacy scatter loop of convolve_direct(); AVX2 is an FMA gather.
+  void (*fir_mac)(const cplx* signal, std::size_t n, const double* taps,
+                  std::size_t t, cplx* out);
+
+  // -- mixer / rotator (tolerance) -----------------------------------------
+  /// out[i] = in[i] * exp(j*phase_i) where phase_0 = phase and
+  /// phase_{i+1} = wrap(phase_i + step) (wrap subtracts/adds 2*pi past
+  /// +-2*pi, matching the legacy Mixer). Returns the final wrapped phase,
+  /// which is computed by the exact scalar recurrence at EVERY level so
+  /// mixer state stays bit-identical across levels even though the samples
+  /// are only tolerance-equivalent (AVX2 uses a renormalized phasor
+  /// recurrence instead of per-sample sincos). in == out is allowed.
+  double (*rotate)(const cplx* in, std::size_t n, cplx* out, double phase,
+                   double step);
+
+  // -- elementwise complex ops (bitwise) -----------------------------------
+  /// x[i] += y[i].
+  void (*cadd)(cplx* x, const cplx* y, std::size_t n);
+  /// x[i] *= s (complex scalar; same rounding as std::complex operator*).
+  void (*cscale)(cplx* x, std::size_t n, cplx s);
+  /// x[i] *= s (real scalar).
+  void (*rscale)(cplx* x, std::size_t n, double s);
+  /// x[i] *= y[i] (complex elementwise; FFT spectrum product).
+  void (*cmul)(cplx* x, const cplx* y, std::size_t n);
+  /// out[i] = in[i] * w[i] (real window).
+  void (*apply_window)(const cplx* in, const double* w, std::size_t n,
+                       cplx* out);
+  /// acc[i] += |x[i]|^2 (Welch PSD accumulation).
+  void (*accumulate_mag2)(double* acc, const cplx* x, std::size_t n);
+  /// In-place two-tap filter, backward sweep:
+  /// x[i] = a*x[i] + b*x[i-1] (x[-1] = 0). The per-element expression is
+  /// fl(fl(a*xi) + fl(b*xi1)) — identical to the legacy timing-offset loop.
+  void (*two_tap)(cplx* x, std::size_t n, double a, double b);
+
+  // -- complex division (bitwise) ------------------------------------------
+  /// x[i] /= h, exactly as std::complex operator/= rounds it (the libgcc
+  /// __divdc3 call, Smith-scaled) — the legacy equalizer numerics. Every
+  /// level runs the same scalar routine: the division is branchy and not
+  /// worth forking numerics to vectorize.
+  void (*cdiv)(cplx* x, std::size_t n, cplx h);
+
+  // -- reductions (bitwise, lane-structured) -------------------------------
+  /// sum over components c of |c|^2 with an 8-real-lane structure
+  /// (component m -> lane m mod 8; fold: vertical halves then pairs).
+  double (*energy)(const cplx* x, std::size_t n);
+  /// sum a[i] * conj(b[i]) with a 4-complex-lane structure.
+  cplx (*dot_conj)(const cplx* a, const cplx* b, std::size_t n);
+  /// Accumulates samples into `lanes` continuing at global sample index
+  /// `start_index` (lane = (start_index + i) mod 4).
+  void (*cumulant_acc)(const cplx* x, std::size_t n, std::size_t start_index,
+                       CumulantLanes* lanes);
+
+  // -- O-QPSK matched filter (tolerance) -----------------------------------
+  /// soft[i] = (sum_s branch_i(wave[i*spc + s]) * pulse[s]) / pulse_energy,
+  /// branch_i = real part for even i, imaginary for odd (the O-QPSK I/Q
+  /// offset). pulse has plen = 2*spc taps. Scalar is the legacy
+  /// OqpskDemodulator::soft_chips loop.
+  void (*oqpsk_mf)(const cplx* wave, std::size_t num_chips, std::size_t spc,
+                   const double* pulse, std::size_t plen, double pulse_energy,
+                   double* soft);
+
+  // -- packed-chip correlation (bitwise, integer) --------------------------
+  /// Packs m consecutive 32-chip blocks (nonzero byte -> 1 bit, bit j =
+  /// chip j) into out[0..m).
+  void (*pack_hard_chips)(const std::uint8_t* chips, std::size_t m,
+                          std::uint32_t* out);
+  /// Packs discriminator signs: bit j of out[k] = (freq[32k + j] > 0).
+  void (*pack_sign_chips)(const double* freq, std::size_t m,
+                          std::uint32_t* out);
+  /// For each received word, the best of 16 candidate rows by Hamming
+  /// distance of the masked XOR; ties break to the LOWEST row index
+  /// (strict-less update, matching despread_block()).
+  void (*despread_words)(const std::uint32_t* received, std::size_t m,
+                         const std::uint32_t* rows16, std::uint32_t mask,
+                         std::uint8_t* symbols, std::uint8_t* distances);
+  /// Single-word variant (the differential despreader's sequential chain).
+  void (*match16)(std::uint32_t observed, const std::uint32_t* rows16,
+                  std::uint32_t mask, std::uint8_t* symbol,
+                  std::uint8_t* distance);
+};
+
+/// The kernel table for an explicit level. `scalar` always works; asking
+/// for `avx2` on a CPU without AVX2+FMA trips a contract failure. Tests use
+/// this to compare levels side by side regardless of CTC_SIMD.
+const KernelTable& table(SimdLevel level);
+
+/// Best level this CPU can execute (CPUID probe, cached).
+SimdLevel best_supported_level();
+
+/// The level active() dispatches to: CTC_SIMD if set (invalid values trip
+/// a contract failure), else best_supported_level(). Resolved once.
+SimdLevel active_level();
+
+/// The process-wide dispatched table — the one hot loops call through.
+const KernelTable& active();
+
+}  // namespace ctc::dsp::kernels

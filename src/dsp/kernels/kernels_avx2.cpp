@@ -1,0 +1,585 @@
+// AVX2+FMA kernel table.
+//
+// Compiled with -mavx2 -mfma -ffp-contract=off (src/dsp/CMakeLists.txt):
+// intrinsics supply the vector ops, and disabling contraction means the
+// scalar heads/tails in this TU (shared with scalar_impl.h) round exactly
+// like the scalar table — that is what makes the bitwise contracts hold.
+// FMA appears ONLY as explicit _mm256_fmadd_pd / std::fma in the two
+// tolerance-class kernels (fir_mac, oqpsk_mf).
+//
+// Lane conventions (see kernels.h): reductions keep two accumulator
+// registers A (elements ≡ 0,1 mod 4 / components 0-3 mod 8) and B
+// (elements ≡ 2,3 mod 4 / components 4-7 mod 8); tails spill the lanes and
+// continue with the scalar_impl code, so scalar/AVX2 equality is by
+// construction rather than by parallel maintenance.
+#include "dsp/kernels/kernels_internal.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "dsp/kernels/scalar_impl.h"
+
+namespace ctc::dsp::kernels::detail {
+namespace {
+
+inline const double* as_doubles(const cplx* p) {
+  return reinterpret_cast<const double*>(p);
+}
+inline double* as_doubles(cplx* p) { return reinterpret_cast<double*>(p); }
+
+/// [x0,x1,x2,x3] -> [x1,x0,x3,x2] (swap re/im within each complex).
+inline __m256d swap_pairs(__m256d v) { return _mm256_permute_pd(v, 0x5); }
+
+/// Sign mask that negates the odd (imaginary) lanes on XOR.
+inline __m256d negate_odd_mask() {
+  return _mm256_set_pd(-0.0, 0.0, -0.0, 0.0);
+}
+
+/// Packed complex multiply: two interleaved complexes per register.
+/// Rounding per lane: re = fl(fl(ar*br) - fl(ai*bi)),
+/// im = fl(fl(ai*br) + fl(ar*bi)) — the libstdc++ operator* structure.
+inline __m256d cmul_packed(__m256d a, __m256d b) {
+  const __m256d t1 = _mm256_mul_pd(a, _mm256_movedup_pd(b));
+  const __m256d t2 = _mm256_mul_pd(swap_pairs(a), _mm256_permute_pd(b, 0xF));
+  return _mm256_addsub_pd(t1, t2);
+}
+
+/// Splits 4 interleaved complexes at p into real and imaginary registers.
+inline void deinterleave4(const double* p, __m256d* re, __m256d* im) {
+  const __m256d a = _mm256_loadu_pd(p);
+  const __m256d b = _mm256_loadu_pd(p + 4);
+  const __m256d lo = _mm256_permute2f128_pd(a, b, 0x20);
+  const __m256d hi = _mm256_permute2f128_pd(a, b, 0x31);
+  *re = _mm256_unpacklo_pd(lo, hi);
+  *im = _mm256_unpackhi_pd(lo, hi);
+}
+
+// ---------------------------------------------------------------------------
+// fir_mac (tolerance): gather form, ascending j, explicit FMA. Every
+// interior output (full tap window) uses identical per-lane arithmetic
+// regardless of position — vector blocks and the scalar interior leftover
+// both round as fl(fma(sample, tap, acc)) — preserving the bitwise
+// time-invariance the emulator's slot LUT relies on.
+// ---------------------------------------------------------------------------
+
+void edge_gather(const cplx* signal, std::size_t n, const double* taps,
+                 std::size_t t, cplx* out, std::size_t k) {
+  const std::size_t jlo = k >= n ? k - (n - 1) : 0;
+  const std::size_t jhi = k < t - 1 ? k : t - 1;
+  double re = out[k].real();
+  double im = out[k].imag();
+  for (std::size_t j = jlo; j <= jhi; ++j) {
+    re = std::fma(signal[k - j].real(), taps[j], re);
+    im = std::fma(signal[k - j].imag(), taps[j], im);
+  }
+  out[k] = cplx{re, im};
+}
+
+void fir_mac(const cplx* signal, std::size_t n, const double* taps,
+             std::size_t t, cplx* out) {
+  if (n == 0 || t == 0) return;
+  // Head: outputs with a truncated tap window (and, when t-1 > n, the
+  // short-signal outputs past n that the tail loop below must then skip).
+  const std::size_t head_end = t - 1 < n + t - 1 ? t - 1 : n + t - 1;
+  for (std::size_t k = 0; k < head_end; ++k) {
+    edge_gather(signal, n, taps, t, out, k);
+  }
+  // Interior: full tap window. 4 outputs (2 registers) per iteration.
+  std::size_t k = t - 1;
+  for (; k + 4 <= n; k += 4) {
+    __m256d acc0 = _mm256_loadu_pd(as_doubles(out + k));
+    __m256d acc1 = _mm256_loadu_pd(as_doubles(out + k + 2));
+    for (std::size_t j = 0; j < t; ++j) {
+      const __m256d tap = _mm256_set1_pd(taps[j]);
+      const __m256d s0 = _mm256_loadu_pd(as_doubles(signal + (k - j)));
+      const __m256d s1 = _mm256_loadu_pd(as_doubles(signal + (k - j) + 2));
+      acc0 = _mm256_fmadd_pd(s0, tap, acc0);
+      acc1 = _mm256_fmadd_pd(s1, tap, acc1);
+    }
+    _mm256_storeu_pd(as_doubles(out + k), acc0);
+    _mm256_storeu_pd(as_doubles(out + k + 2), acc1);
+  }
+  for (; k < n; ++k) {
+    // Interior leftover: same full-window scalar FMA as the vector lanes.
+    double re = out[k].real();
+    double im = out[k].imag();
+    for (std::size_t j = 0; j < t; ++j) {
+      re = std::fma(signal[k - j].real(), taps[j], re);
+      im = std::fma(signal[k - j].imag(), taps[j], im);
+    }
+    out[k] = cplx{re, im};
+  }
+  // Tail: truncated signal window.
+  for (k = n > t - 1 ? n : t - 1; k < n + t - 1; ++k) {
+    edge_gather(signal, n, taps, t, out, k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rotate (tolerance samples, bitwise final phase): phasor recurrence
+// re-anchored from the exact scalar phase every 128 samples.
+// ---------------------------------------------------------------------------
+
+double rotate(const cplx* in, std::size_t n, cplx* out, double phase,
+              double step) {
+  constexpr std::size_t kAnchor = 128;
+  const double c4 = std::cos(4.0 * step);
+  const double s4 = std::sin(4.0 * step);
+  const __m256d rot4 = _mm256_set_pd(s4, c4, s4, c4);
+  std::size_t i = 0;
+  while (i + 4 <= n) {
+    const double ph0 = phase;
+    const double ph1 = scalar_impl::wrap_phase_step(ph0, step);
+    const double ph2 = scalar_impl::wrap_phase_step(ph1, step);
+    const double ph3 = scalar_impl::wrap_phase_step(ph2, step);
+    __m256d p01 = _mm256_set_pd(std::sin(ph1), std::cos(ph1), std::sin(ph0),
+                                std::cos(ph0));
+    __m256d p23 = _mm256_set_pd(std::sin(ph3), std::cos(ph3), std::sin(ph2),
+                                std::cos(ph2));
+    std::size_t remaining = n - i;
+    if (remaining > kAnchor) remaining = kAnchor;
+    const std::size_t block = remaining & ~std::size_t{3};
+    for (std::size_t done = 0; done < block; done += 4) {
+      const __m256d v0 = _mm256_loadu_pd(as_doubles(in + i));
+      const __m256d v1 = _mm256_loadu_pd(as_doubles(in + i + 2));
+      _mm256_storeu_pd(as_doubles(out + i), cmul_packed(v0, p01));
+      _mm256_storeu_pd(as_doubles(out + i + 2), cmul_packed(v1, p23));
+      p01 = cmul_packed(p01, rot4);
+      p23 = cmul_packed(p23, rot4);
+      // Advance the exact phase recurrence past the 4 consumed samples so
+      // re-anchoring (and the returned state) match the scalar level.
+      phase = scalar_impl::wrap_phase_step(phase, step);
+      phase = scalar_impl::wrap_phase_step(phase, step);
+      phase = scalar_impl::wrap_phase_step(phase, step);
+      phase = scalar_impl::wrap_phase_step(phase, step);
+      i += 4;
+    }
+  }
+  return scalar_table().rotate(in + i, n - i, out + i, phase, step);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise complex ops (bitwise).
+//
+// Tail leftovers call through the scalar TABLE (an indirect call into the
+// scalar TU's object code), not the inlined scalar_impl functions: GCC's
+// vectorizer recognizes the complex-multiply shape of the inlined loops and
+// emits vfmaddsub in this -mfma TU even under -ffp-contract=off, which
+// would fork the tails from the scalar level by 1 ulp.
+// ---------------------------------------------------------------------------
+
+void cadd(cplx* x, const cplx* y, std::size_t n) {
+  double* xd = as_doubles(x);
+  const double* yd = as_doubles(y);
+  const std::size_t m = 2 * n;
+  std::size_t k = 0;
+  for (; k + 4 <= m; k += 4) {
+    _mm256_storeu_pd(
+        xd + k, _mm256_add_pd(_mm256_loadu_pd(xd + k), _mm256_loadu_pd(yd + k)));
+  }
+  scalar_table().cadd(x + k / 2, y + k / 2, n - k / 2);
+}
+
+void cscale(cplx* x, std::size_t n, cplx s) {
+  const __m256d sr = _mm256_set1_pd(s.real());
+  const __m256d si = _mm256_set1_pd(s.imag());
+  double* xd = as_doubles(x);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d v = _mm256_loadu_pd(xd + 2 * i);
+    const __m256d t1 = _mm256_mul_pd(v, sr);
+    const __m256d t2 = _mm256_mul_pd(swap_pairs(v), si);
+    _mm256_storeu_pd(xd + 2 * i, _mm256_addsub_pd(t1, t2));
+  }
+  scalar_table().cscale(x + i, n - i, s);
+}
+
+void rscale(cplx* x, std::size_t n, double s) {
+  const __m256d vs = _mm256_set1_pd(s);
+  double* xd = as_doubles(x);
+  const std::size_t m = 2 * n;
+  std::size_t k = 0;
+  for (; k + 4 <= m; k += 4) {
+    _mm256_storeu_pd(xd + k, _mm256_mul_pd(_mm256_loadu_pd(xd + k), vs));
+  }
+  scalar_table().rscale(x + k / 2, n - k / 2, s);
+}
+
+void cmul(cplx* x, const cplx* y, std::size_t n) {
+  double* xd = as_doubles(x);
+  const double* yd = as_doubles(y);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d v = _mm256_loadu_pd(xd + 2 * i);
+    const __m256d w = _mm256_loadu_pd(yd + 2 * i);
+    _mm256_storeu_pd(xd + 2 * i, cmul_packed(v, w));
+  }
+  scalar_table().cmul(x + i, y + i, n - i);
+}
+
+void apply_window(const cplx* in, const double* w, std::size_t n, cplx* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d wv = _mm256_loadu_pd(w + i);
+    const __m256d w01 = _mm256_permute4x64_pd(wv, 0x50);  // [w0,w0,w1,w1]
+    const __m256d w23 = _mm256_permute4x64_pd(wv, 0xFA);  // [w2,w2,w3,w3]
+    const __m256d v0 = _mm256_loadu_pd(as_doubles(in + i));
+    const __m256d v1 = _mm256_loadu_pd(as_doubles(in + i + 2));
+    _mm256_storeu_pd(as_doubles(out + i), _mm256_mul_pd(v0, w01));
+    _mm256_storeu_pd(as_doubles(out + i + 2), _mm256_mul_pd(v1, w23));
+  }
+  scalar_table().apply_window(in + i, w + i, n - i, out + i);
+}
+
+void accumulate_mag2(double* acc, const cplx* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d re;
+    __m256d im;
+    deinterleave4(as_doubles(x + i), &re, &im);
+    const __m256d mag2 =
+        _mm256_add_pd(_mm256_mul_pd(re, re), _mm256_mul_pd(im, im));
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i), mag2));
+  }
+  scalar_table().accumulate_mag2(acc + i, x + i, n - i);
+}
+
+void two_tap(cplx* x, std::size_t n, double a, double b) {
+  const __m256d va = _mm256_set1_pd(a);
+  const __m256d vb = _mm256_set1_pd(b);
+  double* xd = as_doubles(x);
+  std::size_t i = n;
+  // Backward sweep: elements [j, j+1] are written only after [j-1, j] have
+  // been read, and every later-read index is below every written one.
+  while (i >= 3) {
+    const std::size_t j = i - 2;
+    const __m256d cur = _mm256_loadu_pd(xd + 2 * j);
+    const __m256d prev = _mm256_loadu_pd(xd + 2 * j - 2);
+    _mm256_storeu_pd(
+        xd + 2 * j,
+        _mm256_add_pd(_mm256_mul_pd(cur, va), _mm256_mul_pd(prev, vb)));
+    i -= 2;
+  }
+  scalar_table().two_tap(x, i, a, b);
+}
+
+void cdiv(cplx* x, std::size_t n, cplx h) {
+  // operator/= lowers to the branchy, Smith-scaled __divdc3 — vectorizing
+  // it bitwise-identically is not worth it, so this level runs the scalar
+  // TU's exact code.
+  scalar_table().cdiv(x, n, h);
+}
+
+// ---------------------------------------------------------------------------
+// Reductions (bitwise, lane-structured).
+// ---------------------------------------------------------------------------
+
+double energy(const cplx* x, std::size_t n) {
+  const double* d = as_doubles(x);
+  const std::size_t m = 2 * n;
+  __m256d acc_a = _mm256_setzero_pd();
+  __m256d acc_b = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 8 <= m; k += 8) {
+    const __m256d va = _mm256_loadu_pd(d + k);
+    const __m256d vb = _mm256_loadu_pd(d + k + 4);
+    acc_a = _mm256_add_pd(acc_a, _mm256_mul_pd(va, va));
+    acc_b = _mm256_add_pd(acc_b, _mm256_mul_pd(vb, vb));
+  }
+  double lane[8];
+  _mm256_storeu_pd(lane, acc_a);
+  _mm256_storeu_pd(lane + 4, acc_b);
+  scalar_impl::energy_acc(lane, d + k, m - k);
+  return scalar_impl::energy_fold(lane);
+}
+
+cplx dot_conj(const cplx* a, const cplx* b, std::size_t n) {
+  const __m256d neg_odd = negate_odd_mask();
+  __m256d acc_a = _mm256_setzero_pd();  // complexes i % 4 in {0, 1}
+  __m256d acc_b = _mm256_setzero_pd();  // complexes i % 4 in {2, 3}
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(as_doubles(a + i));
+    const __m256d wa = _mm256_loadu_pd(as_doubles(b + i));
+    const __m256d vb = _mm256_loadu_pd(as_doubles(a + i + 2));
+    const __m256d wb = _mm256_loadu_pd(as_doubles(b + i + 2));
+    // Per complex: [ar*br, ai*bi] and [ai*br, ar*bi]; regroup so each
+    // contribution lane is a single rounded sum fl(p +- q).
+    const __m256d t1a = _mm256_mul_pd(va, wa);
+    const __m256d t2a = _mm256_mul_pd(swap_pairs(va), wa);
+    const __m256d s1a = _mm256_unpacklo_pd(t1a, t2a);
+    const __m256d s2a = _mm256_xor_pd(_mm256_unpackhi_pd(t1a, t2a), neg_odd);
+    acc_a = _mm256_add_pd(acc_a, _mm256_add_pd(s1a, s2a));
+    const __m256d t1b = _mm256_mul_pd(vb, wb);
+    const __m256d t2b = _mm256_mul_pd(swap_pairs(vb), wb);
+    const __m256d s1b = _mm256_unpacklo_pd(t1b, t2b);
+    const __m256d s2b = _mm256_xor_pd(_mm256_unpackhi_pd(t1b, t2b), neg_odd);
+    acc_b = _mm256_add_pd(acc_b, _mm256_add_pd(s1b, s2b));
+  }
+  double spill_a[4];
+  double spill_b[4];
+  _mm256_storeu_pd(spill_a, acc_a);
+  _mm256_storeu_pd(spill_b, acc_b);
+  double lr[4] = {spill_a[0], spill_a[2], spill_b[0], spill_b[2]};
+  double li[4] = {spill_a[1], spill_a[3], spill_b[1], spill_b[3]};
+  scalar_impl::dot_conj_acc(lr, li, a + i, b + i, n - i);
+  return scalar_impl::dot_conj_fold(lr, li);
+}
+
+void cumulant_acc(const cplx* x, std::size_t n, std::size_t start_index,
+                  CumulantLanes* lanes) {
+  std::size_t i = 0;
+  // Scalar head until the next sample lands in lane 0 — through the scalar
+  // table, like the elementwise tails: the inlined cumulant_push re-fuses
+  // into vfm* under some flag sets (the sanitizer presets) despite
+  // -ffp-contract=off.
+  std::size_t head = 0;
+  while (head < n && ((start_index + head) & 3) != 0) ++head;
+  if (head > 0) {
+    scalar_table().cumulant_acc(x, head, start_index, lanes);
+    i = head;
+  }
+  if (n - i >= 4) {
+    // Lane j of each register is exactly lanes->lane[j] for one field.
+    alignas(32) double x2r_l[4];
+    alignas(32) double x2i_l[4];
+    alignas(32) double x4r_l[4];
+    alignas(32) double x4i_l[4];
+    alignas(32) double ur_l[4];
+    alignas(32) double ui_l[4];
+    alignas(32) double a2_l[4];
+    alignas(32) double a4_l[4];
+    for (std::size_t j = 0; j < 4; ++j) {
+      x2r_l[j] = lanes->lane[j].sum_x2.real();
+      x2i_l[j] = lanes->lane[j].sum_x2.imag();
+      x4r_l[j] = lanes->lane[j].sum_x4.real();
+      x4i_l[j] = lanes->lane[j].sum_x4.imag();
+      ur_l[j] = lanes->lane[j].sum_x3_conj.real();
+      ui_l[j] = lanes->lane[j].sum_x3_conj.imag();
+      a2_l[j] = lanes->lane[j].sum_abs2;
+      a4_l[j] = lanes->lane[j].sum_abs4;
+    }
+    __m256d sx2r = _mm256_load_pd(x2r_l);
+    __m256d sx2i = _mm256_load_pd(x2i_l);
+    __m256d sx4r = _mm256_load_pd(x4r_l);
+    __m256d sx4i = _mm256_load_pd(x4i_l);
+    __m256d sur = _mm256_load_pd(ur_l);
+    __m256d sui = _mm256_load_pd(ui_l);
+    __m256d sa2 = _mm256_load_pd(a2_l);
+    __m256d sa4 = _mm256_load_pd(a4_l);
+    for (; i + 4 <= n; i += 4) {
+      __m256d re;
+      __m256d im;
+      deinterleave4(as_doubles(x + i), &re, &im);
+      const __m256d rr = _mm256_mul_pd(re, re);
+      const __m256d ii = _mm256_mul_pd(im, im);
+      const __m256d ri = _mm256_mul_pd(re, im);
+      const __m256d abs2 = _mm256_add_pd(rr, ii);
+      const __m256d x2r = _mm256_sub_pd(rr, ii);
+      const __m256d x2i = _mm256_add_pd(ri, ri);
+      const __m256d x4r = _mm256_sub_pd(_mm256_mul_pd(x2r, x2r),
+                                        _mm256_mul_pd(x2i, x2i));
+      const __m256d x2rx2i = _mm256_mul_pd(x2r, x2i);
+      const __m256d x4i = _mm256_add_pd(x2rx2i, x2rx2i);
+      const __m256d tr = _mm256_sub_pd(_mm256_mul_pd(x2r, re),
+                                       _mm256_mul_pd(x2i, im));
+      const __m256d ti = _mm256_add_pd(_mm256_mul_pd(x2r, im),
+                                       _mm256_mul_pd(x2i, re));
+      const __m256d ur = _mm256_add_pd(_mm256_mul_pd(tr, re),
+                                       _mm256_mul_pd(ti, im));
+      const __m256d ui = _mm256_sub_pd(_mm256_mul_pd(ti, re),
+                                       _mm256_mul_pd(tr, im));
+      sx2r = _mm256_add_pd(sx2r, x2r);
+      sx2i = _mm256_add_pd(sx2i, x2i);
+      sx4r = _mm256_add_pd(sx4r, x4r);
+      sx4i = _mm256_add_pd(sx4i, x4i);
+      sur = _mm256_add_pd(sur, ur);
+      sui = _mm256_add_pd(sui, ui);
+      sa2 = _mm256_add_pd(sa2, abs2);
+      sa4 = _mm256_add_pd(sa4, _mm256_mul_pd(abs2, abs2));
+    }
+    _mm256_store_pd(x2r_l, sx2r);
+    _mm256_store_pd(x2i_l, sx2i);
+    _mm256_store_pd(x4r_l, sx4r);
+    _mm256_store_pd(x4i_l, sx4i);
+    _mm256_store_pd(ur_l, sur);
+    _mm256_store_pd(ui_l, sui);
+    _mm256_store_pd(a2_l, sa2);
+    _mm256_store_pd(a4_l, sa4);
+    for (std::size_t j = 0; j < 4; ++j) {
+      lanes->lane[j].sum_x2 = cplx{x2r_l[j], x2i_l[j]};
+      lanes->lane[j].sum_x4 = cplx{x4r_l[j], x4i_l[j]};
+      lanes->lane[j].sum_x3_conj = cplx{ur_l[j], ui_l[j]};
+      lanes->lane[j].sum_abs2 = a2_l[j];
+      lanes->lane[j].sum_abs4 = a4_l[j];
+    }
+  }
+  // Scalar tail (starts at lane 0 because the vector loop consumed 4k).
+  if (i < n) {
+    scalar_table().cumulant_acc(x + i, n - i, start_index + i, lanes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// O-QPSK matched filter (tolerance): per-chip fused deinterleave + dot.
+// ---------------------------------------------------------------------------
+
+void oqpsk_mf(const cplx* wave, std::size_t num_chips, std::size_t spc,
+              const double* pulse, std::size_t plen, double pulse_energy,
+              double* soft) {
+  // Deinterleave is fused into the per-chip dot (no staging buffers: with
+  // the repo's short half-sine pulse the extra memory round-trip costs more
+  // than it saves). Tolerance class — lane fold plus explicit FMA.
+  for (std::size_t i = 0; i < num_chips; ++i) {
+    const double* base = as_doubles(wave + i * spc);
+    const bool in_phase = (i % 2 == 0);
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t s = 0;
+    for (; s + 4 <= plen; s += 4) {
+      __m256d re;
+      __m256d im;
+      deinterleave4(base + 2 * s, &re, &im);
+      acc = _mm256_fmadd_pd(in_phase ? re : im, _mm256_loadu_pd(pulse + s),
+                            acc);
+    }
+    double lane[4];
+    _mm256_storeu_pd(lane, acc);
+    double sum = (lane[0] + lane[2]) + (lane[1] + lane[3]);
+    for (; s < plen; ++s) {
+      sum = std::fma(base[2 * s + (in_phase ? 0 : 1)], pulse[s], sum);
+    }
+    soft[i] = sum / pulse_energy;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-chip correlation (bitwise, integer).
+// ---------------------------------------------------------------------------
+
+void pack_hard_chips(const std::uint8_t* chips, std::size_t m,
+                     std::uint32_t* out) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i all_ones = _mm256_set1_epi8(-1);
+  for (std::size_t word = 0; word < m; ++word) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(chips + word * 32));
+    const __m256i nonzero =
+        _mm256_xor_si256(_mm256_cmpeq_epi8(v, zero), all_ones);
+    out[word] = static_cast<std::uint32_t>(_mm256_movemask_epi8(nonzero));
+  }
+}
+
+void pack_sign_chips(const double* freq, std::size_t m, std::uint32_t* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t word = 0; word < m; ++word) {
+    std::uint32_t bits = 0;
+    for (std::uint32_t group = 0; group < 8; ++group) {
+      const __m256d v = _mm256_loadu_pd(freq + word * 32 + group * 4);
+      const auto mask = static_cast<std::uint32_t>(
+          _mm256_movemask_pd(_mm256_cmp_pd(v, zero, _CMP_GT_OQ)));
+      bits |= mask << (group * 4);
+    }
+    out[word] = bits;
+  }
+}
+
+/// Per-32-bit-lane popcount: pshufb nibble LUT, then horizontal byte sums
+/// via maddubs/madd.
+inline __m256i popcount_epi32(__m256i v) {
+  const __m256i low4 = _mm256_set1_epi8(0x0F);
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i lo = _mm256_and_si256(v, low4);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low4);
+  const __m256i byte_counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                              _mm256_shuffle_epi8(lut, hi));
+  const __m256i pair_sums =
+      _mm256_maddubs_epi16(byte_counts, _mm256_set1_epi8(1));
+  return _mm256_madd_epi16(pair_sums, _mm256_set1_epi16(1));
+}
+
+void despread_words(const std::uint32_t* received, std::size_t m,
+                    const std::uint32_t* rows16, std::uint32_t mask,
+                    std::uint8_t* symbols, std::uint8_t* distances) {
+  const __m256i vmask = _mm256_set1_epi32(static_cast<int>(mask));
+  __m256i vrows[16];
+  for (int row = 0; row < 16; ++row) {
+    vrows[row] = _mm256_set1_epi32(static_cast<int>(rows16[row]));
+  }
+  std::size_t k = 0;
+  for (; k + 8 <= m; k += 8) {
+    const __m256i words = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(received + k));
+    __m256i best_dist = _mm256_set1_epi32(64);
+    __m256i best_sym = _mm256_setzero_si256();
+    for (int row = 0; row < 16; ++row) {
+      const __m256i diff =
+          _mm256_and_si256(_mm256_xor_si256(words, vrows[row]), vmask);
+      const __m256i dist = popcount_epi32(diff);
+      // Update strictly when dist < best: ties keep the lowest row.
+      const __m256i closer = _mm256_cmpgt_epi32(best_dist, dist);
+      best_dist = _mm256_blendv_epi8(best_dist, dist, closer);
+      best_sym =
+          _mm256_blendv_epi8(best_sym, _mm256_set1_epi32(row), closer);
+    }
+    alignas(32) std::uint32_t dist_out[8];
+    alignas(32) std::uint32_t sym_out[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dist_out), best_dist);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(sym_out), best_sym);
+    for (std::size_t j = 0; j < 8; ++j) {
+      symbols[k + j] = static_cast<std::uint8_t>(sym_out[j]);
+      distances[k + j] = static_cast<std::uint8_t>(dist_out[j]);
+    }
+  }
+  scalar_impl::despread_words(received + k, m - k, rows16, mask, symbols + k,
+                              distances + k);
+}
+
+}  // namespace
+
+bool avx2_compiled() { return true; }
+
+const KernelTable& avx2_table() {
+  static constexpr KernelTable table = {
+      .fir_mac = fir_mac,
+      .rotate = rotate,
+      .cadd = cadd,
+      .cscale = cscale,
+      .rscale = rscale,
+      .cmul = cmul,
+      .apply_window = apply_window,
+      .accumulate_mag2 = accumulate_mag2,
+      .two_tap = two_tap,
+      .cdiv = cdiv,
+      .energy = energy,
+      .dot_conj = dot_conj,
+      .cumulant_acc = cumulant_acc,
+      .oqpsk_mf = oqpsk_mf,
+      .pack_hard_chips = pack_hard_chips,
+      .pack_sign_chips = pack_sign_chips,
+      .despread_words = despread_words,
+      // The differential chain is latency-bound, not throughput-bound; the
+      // scalar match is already optimal per word.
+      .match16 = scalar_impl::match16,
+  };
+  return table;
+}
+
+}  // namespace ctc::dsp::kernels::detail
+
+#else  // non-x86-64: no AVX2 TU; dispatcher never selects this table.
+
+namespace ctc::dsp::kernels::detail {
+
+bool avx2_compiled() { return false; }
+
+const KernelTable& avx2_table() { return scalar_table(); }
+
+}  // namespace ctc::dsp::kernels::detail
+
+#endif

@@ -1,0 +1,17 @@
+// Private wiring between the dispatcher (kernels.cpp) and the per-level
+// implementation TUs. Not installed; include only from src/dsp/kernels/.
+#pragma once
+
+#include "dsp/kernels/kernels.h"
+
+namespace ctc::dsp::kernels::detail {
+
+/// Portable reference table (kernels_scalar.cpp).
+const KernelTable& scalar_table();
+
+/// AVX2+FMA table (kernels_avx2.cpp). On non-x86-64 builds this TU is
+/// compiled without intrinsics and returns false from avx2_compiled().
+const KernelTable& avx2_table();
+bool avx2_compiled();
+
+}  // namespace ctc::dsp::kernels::detail

@@ -1,0 +1,35 @@
+// Portable kernel table: thin bindings over scalar_impl.h.
+//
+// Compiled with -ffp-contract=off (see src/dsp/CMakeLists.txt) so the
+// multiply-add structure written in scalar_impl.h is what actually runs —
+// the bitwise scalar/AVX2 contracts depend on it.
+#include "dsp/kernels/kernels_internal.h"
+#include "dsp/kernels/scalar_impl.h"
+
+namespace ctc::dsp::kernels::detail {
+
+const KernelTable& scalar_table() {
+  static constexpr KernelTable table = {
+      .fir_mac = scalar_impl::fir_mac,
+      .rotate = scalar_impl::rotate,
+      .cadd = scalar_impl::cadd,
+      .cscale = scalar_impl::cscale,
+      .rscale = scalar_impl::rscale,
+      .cmul = scalar_impl::cmul,
+      .apply_window = scalar_impl::apply_window,
+      .accumulate_mag2 = scalar_impl::accumulate_mag2,
+      .two_tap = scalar_impl::two_tap,
+      .cdiv = scalar_impl::cdiv,
+      .energy = scalar_impl::energy,
+      .dot_conj = scalar_impl::dot_conj,
+      .cumulant_acc = scalar_impl::cumulant_acc,
+      .oqpsk_mf = scalar_impl::oqpsk_mf,
+      .pack_hard_chips = scalar_impl::pack_hard_chips,
+      .pack_sign_chips = scalar_impl::pack_sign_chips,
+      .despread_words = scalar_impl::despread_words,
+      .match16 = scalar_impl::match16,
+  };
+  return table;
+}
+
+}  // namespace ctc::dsp::kernels::detail

@@ -1,0 +1,281 @@
+// Portable kernel implementations, shared between the scalar table and the
+// AVX2 TU (which reuses them for unaligned heads, sub-vector tails, and the
+// kernels whose cost is a sequential dependency chain rather than math).
+//
+// ONLY include this from src/dsp/kernels/*.cpp: both kernel TUs compile
+// with -ffp-contract=off, which is what makes the bitwise-class contracts
+// hold. Including it from a TU with default contraction would silently
+// fuse the multiply-adds below into FMAs and break scalar/AVX2 equality.
+//
+// Each function's floating-point expression structure is a contract (see
+// kernels.h); do not "simplify" the arithmetic here without updating the
+// AVX2 side and the equivalence suite together.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "dsp/kernels/kernels.h"
+#include "dsp/types.h"
+
+namespace ctc::dsp::kernels::scalar_impl {
+
+// Legacy scatter form of convolve_direct(): i-outer, j-inner, so output k
+// accumulates taps in descending-j order. This is the pinned reference the
+// AVX2 gather form (ascending-j, FMA) is tolerance-tested against.
+inline void fir_mac(const cplx* signal, std::size_t n, const double* taps,
+                    std::size_t t, cplx* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const cplx x = signal[i];
+    for (std::size_t j = 0; j < t; ++j) out[i + j] += x * taps[j];
+  }
+}
+
+// The legacy Mixer wrap step: two independent ifs, not if/else.
+inline double wrap_phase_step(double phase, double step) {
+  phase += step;
+  if (phase > kTwoPi) phase -= kTwoPi;
+  if (phase < -kTwoPi) phase += kTwoPi;
+  return phase;
+}
+
+// Legacy Mixer::process loop: per-sample sincos of the exact phase.
+inline double rotate(const cplx* in, std::size_t n, cplx* out, double phase,
+                     double step) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = in[i] * cplx{std::cos(phase), std::sin(phase)};
+    phase = wrap_phase_step(phase, step);
+  }
+  return phase;
+}
+
+inline void cadd(cplx* x, const cplx* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] += y[i];
+}
+
+// Mirrors libstdc++ complex*=: re' = fl(fl(re*sr) - fl(im*si)),
+// im' = fl(fl(re*si) + fl(im*sr)) — the addsub lane structure on AVX2.
+inline void cscale(cplx* x, std::size_t n, cplx s) {
+  const double sr = s.real();
+  const double si = s.imag();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = x[i].real();
+    const double im = x[i].imag();
+    x[i] = cplx{(re * sr) - (im * si), (im * sr) + (re * si)};
+  }
+}
+
+inline void rscale(cplx* x, std::size_t n, double s) {
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = cplx{x[i].real() * s, x[i].imag() * s};
+  }
+}
+
+inline void cmul(cplx* x, const cplx* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = x[i].real();
+    const double im = x[i].imag();
+    const double yr = y[i].real();
+    const double yi = y[i].imag();
+    x[i] = cplx{(re * yr) - (im * yi), (im * yr) + (re * yi)};
+  }
+}
+
+inline void apply_window(const cplx* in, const double* w, std::size_t n,
+                         cplx* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = cplx{in[i].real() * w[i], in[i].imag() * w[i]};
+  }
+}
+
+inline void accumulate_mag2(double* acc, const cplx* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = x[i].real();
+    const double im = x[i].imag();
+    acc[i] += (re * re) + (im * im);
+  }
+}
+
+// Backward two-tap sweep of the legacy timing-offset loop. The first
+// element keeps its explicit fl(b*0) add so signed-zero behaviour matches
+// the legacy `previous = {0, 0}` initialization exactly.
+inline void two_tap(cplx* x, std::size_t n, double a, double b) {
+  for (std::size_t i = n; i-- > 0;) {
+    const cplx prev = i > 0 ? x[i - 1] : cplx{0.0, 0.0};
+    x[i] = cplx{(x[i].real() * a) + (prev.real() * b),
+                (x[i].imag() * a) + (prev.imag() * b)};
+  }
+}
+
+// Mirrors libstdc++ complex/=: numerators fl(fl(re*hr) + fl(im*hi)) and
+// fl(fl(im*hr) - fl(re*hi)), each divided by fl(fl(hr*hr) + fl(hi*hi)).
+inline void cdiv(cplx* x, std::size_t n, cplx h) {
+  // Deliberately operator/= (the libgcc __divdc3 call, Smith-scaled): this
+  // is exactly what the pre-kernel call sites compiled to, so the equalizer
+  // keeps its legacy rounding. Division is branchy enough that no level
+  // forks numerics to vectorize it — see the AVX2 table entry.
+  for (std::size_t i = 0; i < n; ++i) x[i] /= h;
+}
+
+// 8-real-lane energy: component m (the flattened re/im stream) lands in
+// lane m mod 8; fold is ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) — the AVX2
+// vertical A+B add followed by the 128-bit-half and pair folds. The
+// acc/fold split lets the AVX2 TU spill its registers into `lane` and run
+// this exact code for sub-vector tails.
+inline void energy_acc(double lane[8], const double* d, std::size_t m) {
+  std::size_t k = 0;
+  for (; k + 8 <= m; k += 8) {
+    for (std::size_t j = 0; j < 8; ++j) lane[j] += d[k + j] * d[k + j];
+  }
+  for (std::size_t j = 0; k < m; ++k, ++j) lane[j] += d[k] * d[k];
+}
+
+inline double energy_fold(const double lane[8]) {
+  const double c0 = lane[0] + lane[4];
+  const double c1 = lane[1] + lane[5];
+  const double c2 = lane[2] + lane[6];
+  const double c3 = lane[3] + lane[7];
+  return (c0 + c2) + (c1 + c3);
+}
+
+inline double energy(const cplx* x, std::size_t n) {
+  double lane[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  energy_acc(lane, reinterpret_cast<const double*>(x), 2 * n);
+  return energy_fold(lane);
+}
+
+// 4-complex-lane conjugate dot product: sample i lands in lane i mod 4,
+// each contribution is fl(fl(ar*br) + fl(ai*bi)) / fl(fl(ai*br) - fl(ar*bi));
+// fold is (l0+l2) + (l1+l3) per component. Split as acc/fold for the same
+// AVX2 tail-reuse reason as energy.
+inline void dot_conj_acc(double lr[4], double li[4], const cplx* a,
+                         const cplx* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i & 3;
+    const double ar = a[i].real();
+    const double ai = a[i].imag();
+    const double br = b[i].real();
+    const double bi = b[i].imag();
+    lr[j] += (ar * br) + (ai * bi);
+    li[j] += (ai * br) - (ar * bi);
+  }
+}
+
+inline cplx dot_conj_fold(const double lr[4], const double li[4]) {
+  return {(lr[0] + lr[2]) + (lr[1] + lr[3]),
+          (li[0] + li[2]) + (li[1] + li[3])};
+}
+
+inline cplx dot_conj(const cplx* a, const cplx* b, std::size_t n) {
+  double lr[4] = {0.0, 0.0, 0.0, 0.0};
+  double li[4] = {0.0, 0.0, 0.0, 0.0};
+  dot_conj_acc(lr, li, a, b, n);
+  return dot_conj_fold(lr, li);
+}
+
+// One sample's contribution to the cumulant sums, with the exact rounding
+// structure of the legacy estimate_cumulants() loop compiled without FMA:
+//   x2  = x * x                 (libstdc++ complex multiply)
+//   x4  = x2 * x2
+//   u   = (x2 * x) * conj(x)    (left-associated multiply chain)
+// expanded so shared products (re*re, im*im, re*im) are rounded once and
+// reused, matching both the std::complex operators and the AVX2 lanes.
+inline void cumulant_push(CumulantSums& s, cplx x) {
+  const double re = x.real();
+  const double im = x.imag();
+  const double rr = re * re;
+  const double ii = im * im;
+  const double ri = re * im;
+  const double abs2 = rr + ii;
+  const double x2r = rr - ii;
+  const double x2i = ri + ri;
+  const double x4r = (x2r * x2r) - (x2i * x2i);
+  const double x4i = (x2r * x2i) + (x2i * x2r);
+  const double tr = (x2r * re) - (x2i * im);
+  const double ti = (x2r * im) + (x2i * re);
+  const double ur = (tr * re) + (ti * im);
+  const double ui = (ti * re) - (tr * im);
+  s.sum_x2 += cplx{x2r, x2i};
+  s.sum_x4 += cplx{x4r, x4i};
+  s.sum_x3_conj += cplx{ur, ui};
+  s.sum_abs2 += abs2;
+  s.sum_abs4 += abs2 * abs2;
+}
+
+inline void cumulant_acc(const cplx* x, std::size_t n, std::size_t start_index,
+                         CumulantLanes* lanes) {
+  for (std::size_t i = 0; i < n; ++i) {
+    cumulant_push(lanes->lane[(start_index + i) & 3], x[i]);
+  }
+}
+
+// Legacy OqpskDemodulator::soft_chips inner loop: one sequential
+// accumulator per chip over the 2*spc pulse taps, I branch on even chips
+// and Q on odd ones, normalized by the pulse energy.
+inline void oqpsk_mf(const cplx* wave, std::size_t num_chips, std::size_t spc,
+                     const double* pulse, std::size_t plen, double pulse_energy,
+                     double* soft) {
+  for (std::size_t i = 0; i < num_chips; ++i) {
+    const std::size_t start = i * spc;
+    const bool in_phase = (i % 2 == 0);
+    double acc = 0.0;
+    for (std::size_t s = 0; s < plen; ++s) {
+      const cplx& value = wave[start + s];
+      acc += (in_phase ? value.real() : value.imag()) * pulse[s];
+    }
+    soft[i] = acc / pulse_energy;
+  }
+}
+
+inline void pack_hard_chips(const std::uint8_t* chips, std::size_t m,
+                            std::uint32_t* out) {
+  for (std::size_t k = 0; k < m; ++k) {
+    std::uint32_t word = 0;
+    for (std::uint32_t j = 0; j < 32; ++j) {
+      if (chips[k * 32 + j] != 0) word |= (std::uint32_t{1} << j);
+    }
+    out[k] = word;
+  }
+}
+
+inline void pack_sign_chips(const double* freq, std::size_t m,
+                            std::uint32_t* out) {
+  for (std::size_t k = 0; k < m; ++k) {
+    std::uint32_t word = 0;
+    for (std::uint32_t j = 0; j < 32; ++j) {
+      if (freq[k * 32 + j] > 0.0) word |= (std::uint32_t{1} << j);
+    }
+    out[k] = word;
+  }
+}
+
+// Strict-less update: ties keep the LOWEST symbol index, exactly like the
+// legacy despread_block() loop.
+inline void match16(std::uint32_t observed, const std::uint32_t* rows16,
+                    std::uint32_t mask, std::uint8_t* symbol,
+                    std::uint8_t* distance) {
+  unsigned best_distance = 33;
+  unsigned best_symbol = 0;
+  for (unsigned row = 0; row < 16; ++row) {
+    const auto dist = static_cast<unsigned>(
+        std::popcount((observed ^ rows16[row]) & mask));
+    if (dist < best_distance) {
+      best_distance = dist;
+      best_symbol = row;
+    }
+  }
+  *symbol = static_cast<std::uint8_t>(best_symbol);
+  *distance = static_cast<std::uint8_t>(best_distance);
+}
+
+inline void despread_words(const std::uint32_t* received, std::size_t m,
+                           const std::uint32_t* rows16, std::uint32_t mask,
+                           std::uint8_t* symbols, std::uint8_t* distances) {
+  for (std::size_t k = 0; k < m; ++k) {
+    match16(received[k], rows16, mask, &symbols[k], &distances[k]);
+  }
+}
+
+}  // namespace ctc::dsp::kernels::scalar_impl

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dsp/fft.h"
+#include "dsp/kernels/kernels.h"
 #include "dsp/require.h"
 
 namespace ctc::dsp {
@@ -25,10 +26,11 @@ PsdResult welch_psd(std::span<const cplx> signal, PsdConfig config) {
   rvec accumulated(n, 0.0);
   std::size_t segments = 0;
   cvec buffer(n);
+  const kernels::KernelTable& kt = kernels::active();
   for (std::size_t start = 0; start + n <= signal.size(); start += hop) {
-    for (std::size_t i = 0; i < n; ++i) buffer[i] = signal[start + i] * window[i];
+    kt.apply_window(signal.data() + start, window.data(), n, buffer.data());
     const cvec spectrum = plan.forward(buffer);
-    for (std::size_t k = 0; k < n; ++k) accumulated[k] += std::norm(spectrum[k]);
+    kt.accumulate_mag2(accumulated.data(), spectrum.data(), n);
     ++segments;
   }
   // Normalize: per-segment |X|^2 / (N * sum w^2) makes sum(power) = E|x|^2.

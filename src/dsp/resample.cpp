@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dsp/fir.h"
+#include "dsp/kernels/kernels.h"
 #include "dsp/require.h"
 
 namespace ctc::dsp {
@@ -25,7 +26,7 @@ cvec upsample(std::span<const cplx> input, std::size_t factor,
   // ULP-equivalent and position-dependent, which would kill every LUT hit.
   cvec out = filter_same(stuffed, taps, ConvolvePolicy::direct);
   // Restore amplitude lost to zero-stuffing.
-  for (auto& value : out) value *= static_cast<double>(factor);
+  kernels::active().rscale(out.data(), out.size(), static_cast<double>(factor));
   return out;
 }
 
@@ -53,22 +54,17 @@ Mixer::Mixer(double freq_hz, double sample_rate_hz, double initial_phase)
 
 cvec Mixer::process(std::span<const cplx> block) {
   cvec out(block.size());
-  for (std::size_t i = 0; i < block.size(); ++i) {
-    out[i] = block[i] * cplx{std::cos(phase_), std::sin(phase_)};
-    phase_ += step_;
-    if (phase_ > kTwoPi) phase_ -= kTwoPi;
-    if (phase_ < -kTwoPi) phase_ += kTwoPi;
-  }
+  // The rotate kernel advances the exact phase recurrence at every dispatch
+  // level, so mixer STATE is bitwise level-independent even though AVX2
+  // samples come from a re-anchored phasor recurrence (tolerance class).
+  phase_ = kernels::active().rotate(block.data(), block.size(), out.data(),
+                                    phase_, step_);
   return out;
 }
 
 void Mixer::process_inplace(std::span<cplx> block) {
-  for (auto& x : block) {
-    x *= cplx{std::cos(phase_), std::sin(phase_)};
-    phase_ += step_;
-    if (phase_ > kTwoPi) phase_ -= kTwoPi;
-    if (phase_ < -kTwoPi) phase_ += kTwoPi;
-  }
+  phase_ = kernels::active().rotate(block.data(), block.size(), block.data(),
+                                    phase_, step_);
 }
 
 void Mixer::reset(double phase) { phase_ = phase; }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dsp/kernels/kernels.h"
 #include "dsp/require.h"
 
 namespace ctc::dsp {
@@ -26,9 +27,10 @@ double average_power(std::span<const cplx> signal) {
 }
 
 double energy(std::span<const cplx> signal) {
-  double acc = 0.0;
-  for (const cplx& x : signal) acc += std::norm(x);
-  return acc;
+  // Lane-structured reduction (see kernels.h): bitwise identical across
+  // dispatch levels, a fixed but different summation order than a naive
+  // sequential accumulator.
+  return kernels::active().energy(signal.data(), signal.size());
 }
 
 cvec normalize_power(std::span<const cplx> signal) {
@@ -36,7 +38,7 @@ cvec normalize_power(std::span<const cplx> signal) {
   CTC_REQUIRE_MSG(p > 0.0, "cannot normalize an all-zero signal");
   const double scale = 1.0 / std::sqrt(p);
   cvec out(signal.begin(), signal.end());
-  for (auto& x : out) x *= scale;
+  kernels::active().rscale(out.data(), out.size(), scale);
   return out;
 }
 

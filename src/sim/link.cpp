@@ -91,8 +91,64 @@ void Link::prime(std::span<const zigbee::MacFrame> frames) const {
   for (const zigbee::MacFrame& frame : frames) cached_frame(frame);
 }
 
-FrameObservation Link::send(const zigbee::MacFrame& frame, dsp::Rng& rng) const {
+channel::Environment Link::effective_environment() const {
+  // The commodity receiver's better front end shows up as extra link budget.
+  channel::Environment env = config_.environment;
+  env.snr_db = env.effective_snr_db() + config_.profile.sensitivity_gain_db;
+  env.distance_m.reset();
+  return env;
+}
+
+FrameObservation Link::observe(std::span<const cplx> received,
+                               const bytevec& sent_psdu) const {
   FrameObservation observation;
+  observation.rx = receiver_.receive(received);
+
+  // PSDU symbols are nibbles, low nibble first — compare the decoded bytes
+  // in place instead of materializing two symbol vectors per trial.
+  observation.symbols_sent = 2 * sent_psdu.size();
+  if (observation.rx.psdu.size() == sent_psdu.size()) {
+    for (std::size_t i = 0; i < sent_psdu.size(); ++i) {
+      const std::uint8_t sent = sent_psdu[i];
+      const std::uint8_t decoded = observation.rx.psdu[i];
+      if ((sent & 0x0F) != (decoded & 0x0F)) ++observation.symbol_errors;
+      if ((sent >> 4) != (decoded >> 4)) ++observation.symbol_errors;
+    }
+    observation.payload_match = observation.symbol_errors == 0;
+  } else {
+    observation.symbol_errors = observation.symbols_sent;
+    observation.payload_match = false;
+  }
+  observation.success = observation.rx.frame_ok() && observation.payload_match;
+  return observation;
+}
+
+FrameObservation Link::send(const zigbee::MacFrame& frame, dsp::Rng& rng) const {
+  cvec local_clean;
+  bytevec local_psdu;
+  const cvec* clean = &local_clean;
+  const bytevec* sent_psdu = &local_psdu;
+  if (config_.memoize_waveforms) {
+    const CachedFrame& cached = cached_frame(frame);
+    clean = &cached.clean;
+    sent_psdu = &cached.psdu;
+  } else {
+    local_clean = synthesize_waveform(frame);
+    local_psdu = frame.serialize();
+  }
+
+  // Thread-local workspace: send() runs once per Monte Carlo trial and the
+  // propagated copy dominated the per-trial allocations.
+  thread_local cvec received;
+  effective_environment().propagate_into(received, *clean, rng);
+  return observe(received, *sent_psdu);
+}
+
+std::vector<FrameObservation> Link::send_batch(const zigbee::MacFrame& frame,
+                                               std::span<dsp::Rng> rngs) const {
+  std::vector<FrameObservation> observations;
+  observations.reserve(rngs.size());
+  if (rngs.empty()) return observations;
 
   cvec local_clean;
   bytevec local_psdu;
@@ -107,34 +163,12 @@ FrameObservation Link::send(const zigbee::MacFrame& frame, dsp::Rng& rng) const 
     local_psdu = frame.serialize();
   }
 
-  // The commodity receiver's better front end shows up as extra link budget.
-  channel::Environment env = config_.environment;
-  env.snr_db = env.effective_snr_db() + config_.profile.sensitivity_gain_db;
-  env.distance_m.reset();
-  // Thread-local workspace: send() runs once per Monte Carlo trial and the
-  // propagated copy dominated the per-trial allocations.
-  thread_local cvec received;
-  env.propagate_into(received, *clean, rng);
-
-  observation.rx = receiver_.receive(received);
-
-  // PSDU symbols are nibbles, low nibble first — compare the decoded bytes
-  // in place instead of materializing two symbol vectors per trial.
-  observation.symbols_sent = 2 * sent_psdu->size();
-  if (observation.rx.psdu.size() == sent_psdu->size()) {
-    for (std::size_t i = 0; i < sent_psdu->size(); ++i) {
-      const std::uint8_t sent = (*sent_psdu)[i];
-      const std::uint8_t decoded = observation.rx.psdu[i];
-      if ((sent & 0x0F) != (decoded & 0x0F)) ++observation.symbol_errors;
-      if ((sent >> 4) != (decoded >> 4)) ++observation.symbol_errors;
-    }
-    observation.payload_match = observation.symbol_errors == 0;
-  } else {
-    observation.symbol_errors = observation.symbols_sent;
-    observation.payload_match = false;
+  thread_local dsp::BatchBuffer batch;
+  effective_environment().propagate_batch(batch, *clean, rngs);
+  for (std::size_t r = 0; r < rngs.size(); ++r) {
+    observations.push_back(observe(batch.row(r), *sent_psdu));
   }
-  observation.success = observation.rx.frame_ok() && observation.payload_match;
-  return observation;
+  return observations;
 }
 
 }  // namespace ctc::sim

@@ -10,10 +10,12 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "attack/carrier_allocation.h"
 #include "attack/emulator.h"
 #include "channel/environment.h"
+#include "dsp/batch.h"
 #include "dsp/rng.h"
 #include "zigbee/receiver.h"
 #include "zigbee/transmitter.h"
@@ -60,6 +62,15 @@ class Link {
   /// Sends one MAC frame through the link and decodes it.
   FrameObservation send(const zigbee::MacFrame& frame, dsp::Rng& rng) const;
 
+  /// Batched send: rngs.size() independent channel realizations of the SAME
+  /// frame, propagated through the channel stage-major in one SoA workspace
+  /// (see channel::Environment::propagate_batch) and then decoded row by
+  /// row. Result k is bit-identical to send(frame, rngs[k]) — the batch
+  /// path only amortizes the synthesis lookup and the channel sweep; every
+  /// per-trial draw comes from that trial's own RNG stream.
+  std::vector<FrameObservation> send_batch(const zigbee::MacFrame& frame,
+                                           std::span<dsp::Rng> rngs) const;
+
   /// The clean (pre-channel) waveform this link would emit for a frame —
   /// the observed ZigBee waveform for authentic links, the emulated one for
   /// attack links. Unit average power.
@@ -94,6 +105,13 @@ class Link {
   const CachedFrame& cached_frame(const zigbee::MacFrame& frame) const;
   /// The raw synthesis chain (no cache): body of the public clean_waveform.
   cvec synthesize_waveform(const zigbee::MacFrame& frame) const;
+  /// Decodes one propagated waveform and scores it against the sent PSDU —
+  /// the shared back half of send() and send_batch().
+  FrameObservation observe(std::span<const cplx> received,
+                           const bytevec& sent_psdu) const;
+  /// The per-send channel: the configured environment with the profile's
+  /// sensitivity gain folded into a plain SNR.
+  channel::Environment effective_environment() const;
 
   LinkConfig config_;
   zigbee::Transmitter transmitter_;

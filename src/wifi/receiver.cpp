@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dsp/fft.h"
+#include "dsp/kernels/kernels.h"
 #include "dsp/require.h"
 #include "wifi/interleaver.h"
 #include "wifi/ofdm.h"
@@ -56,7 +57,7 @@ cvec equalized_grid(std::span<const cplx> symbol, std::span<const cplx> channel,
   pilot_sum += grid[subcarrier_to_bin(pilots[3])] * (-polarity);
   if (std::abs(pilot_sum) > 1e-9) {
     const cplx rotation = pilot_sum / std::abs(pilot_sum);
-    for (auto& value : grid) value /= rotation;
+    dsp::kernels::active().cdiv(grid.data(), grid.size(), rotation);
   }
   return grid;
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dsp/kernels/kernels.h"
 #include "dsp/require.h"
 #include "dsp/resample.h"
 #include "wifi/ofdm.h"
@@ -19,12 +20,10 @@ struct Plateau {
 Plateau stf_metric(std::span<const cplx> capture, std::size_t d) {
   constexpr std::size_t kDelay = 16;
   constexpr std::size_t kWindow = 64;
-  cplx p{0.0, 0.0};
-  double r = 0.0;
-  for (std::size_t i = 0; i < kWindow; ++i) {
-    p += capture[d + i] * std::conj(capture[d + i + kDelay]);
-    r += std::norm(capture[d + i + kDelay]);
-  }
+  const dsp::kernels::KernelTable& kt = dsp::kernels::active();
+  const cplx p =
+      kt.dot_conj(capture.data() + d, capture.data() + d + kDelay, kWindow);
+  const double r = kt.energy(capture.data() + d + kDelay, kWindow);
   Plateau out;
   out.correlation = p;
   out.metric = (r > 0.0) ? std::abs(p) / r : 0.0;
@@ -77,8 +76,8 @@ std::optional<SyncResult> synchronize_wifi(std::span<const cplx> capture,
   // 3. Fine timing: cross-correlate with the known LTF symbol.
   const cvec ltf = make_ltf();
   const std::span<const cplx> reference(ltf.data() + 32, kLtfSymbol);
-  double reference_energy = 0.0;
-  for (const cplx& x : reference) reference_energy += std::norm(x);
+  const dsp::kernels::KernelTable& kt = dsp::kernels::active();
+  const double reference_energy = kt.energy(reference.data(), kLtfSymbol);
 
   const std::size_t search_from = coarse_start;
   const std::size_t search_to =
@@ -86,12 +85,9 @@ std::optional<SyncResult> synchronize_wifi(std::span<const cplx> capture,
   std::size_t best = search_from;
   double best_metric = 0.0;
   auto ltf_corr = [&](std::size_t p) {
-    cplx acc{0.0, 0.0};
-    double energy = 0.0;
-    for (std::size_t i = 0; i < kLtfSymbol; ++i) {
-      acc += corrected[p + i] * std::conj(reference[i]);
-      energy += std::norm(corrected[p + i]);
-    }
+    const cplx acc =
+        kt.dot_conj(corrected.data() + p, reference.data(), kLtfSymbol);
+    const double energy = kt.energy(corrected.data() + p, kLtfSymbol);
     return energy > 0.0 ? std::norm(acc) / (energy * reference_energy) : 0.0;
   };
   for (std::size_t p = search_from; p < search_to; ++p) {
@@ -110,10 +106,9 @@ std::optional<SyncResult> synchronize_wifi(std::span<const cplx> capture,
   if (ltf_symbol1 < 192) return std::nullopt;
 
   // 4. Fine CFO across the two LTF repeats.
-  cplx p64{0.0, 0.0};
-  for (std::size_t i = 0; i < kLtfSymbol; ++i) {
-    p64 += corrected[ltf_symbol1 + i] * std::conj(corrected[ltf_symbol1 + kLtfSymbol + i]);
-  }
+  const cplx p64 = kt.dot_conj(corrected.data() + ltf_symbol1,
+                               corrected.data() + ltf_symbol1 + kLtfSymbol,
+                               kLtfSymbol);
   const double fine_cfo =
       -std::arg(p64) * config.sample_rate_hz / (kTwoPi * kLtfSymbol);
 

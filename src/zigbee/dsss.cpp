@@ -1,7 +1,9 @@
 #include "zigbee/dsss.h"
 
 #include <bit>
+#include <vector>
 
+#include "dsp/kernels/kernels.h"
 #include "dsp/require.h"
 
 namespace ctc::zigbee {
@@ -156,18 +158,64 @@ DespreadResult despread_differential_block_reference(
   return result;
 }
 
+namespace {
+
+// The 16 predicted-sign rows for each previous-chip context, assembled once
+// from the differential signatures so the per-block loop is one packed
+// match against a precomputed row set.
+struct DifferentialRowSets {
+  std::array<PackedChips, kNumSymbols> first;  // no predecessor (mask ~1)
+  std::array<PackedChips, kNumSymbols> prev0;  // previous chip = 0
+  std::array<PackedChips, kNumSymbols> prev1;  // previous chip = 1
+};
+
+const DifferentialRowSets& differential_row_sets() {
+  static const DifferentialRowSets sets = [] {
+    DifferentialRowSets out{};
+    const auto& table = differential_table();
+    for (std::size_t s = 0; s < kNumSymbols; ++s) {
+      out.first[s] = table[s].tail_bits;
+      out.prev0[s] = table[s].tail_bits | table[s].chip0_bit[0];
+      out.prev1[s] = table[s].tail_bits | table[s].chip0_bit[1];
+    }
+    return out;
+  }();
+  return sets;
+}
+
+}  // namespace
+
 std::vector<DespreadResult> despread_differential(
     std::span<const double> freq_chips, std::size_t threshold) {
   CTC_REQUIRE_MSG(freq_chips.size() % kChipsPerSymbol == 0,
                   "chip stream must contain whole symbols");
+  const std::size_t blocks = freq_chips.size() / kChipsPerSymbol;
   std::vector<DespreadResult> results;
-  results.reserve(freq_chips.size() / kChipsPerSymbol);
+  results.reserve(blocks);
+  if (blocks == 0) return results;
+  const auto& kt = dsp::kernels::active();
+  // Sign packing is embarrassingly parallel — do the whole stream at once.
+  thread_local std::vector<PackedChips> packed;
+  packed.resize(blocks);
+  kt.pack_sign_chips(freq_chips.data(), blocks, packed.data());
+  // The symbol chain itself stays sequential: block k's row set depends on
+  // the decoded last chip of block k-1.
+  const DifferentialRowSets& sets = differential_row_sets();
   std::uint8_t previous_chip = 2;  // first block has no predecessor
-  for (std::size_t offset = 0; offset < freq_chips.size();
-       offset += kChipsPerSymbol) {
-    const DespreadResult block = despread_differential_block(
-        freq_chips.subspan(offset, kChipsPerSymbol), previous_chip, threshold);
-    previous_chip = chips_for_symbol(block.symbol)[kChipsPerSymbol - 1];
+  for (std::size_t k = 0; k < blocks; ++k) {
+    const PackedChips* rows = previous_chip > 1 ? sets.first.data()
+                              : previous_chip == 0 ? sets.prev0.data()
+                                                   : sets.prev1.data();
+    const PackedChips mask =
+        previous_chip > 1 ? ~PackedChips{1} : ~PackedChips{0};
+    std::uint8_t symbol = 0;
+    std::uint8_t distance = 0;
+    kt.match16(packed[k], rows, mask, &symbol, &distance);
+    previous_chip = chips_for_symbol(symbol)[kChipsPerSymbol - 1];
+    DespreadResult block;
+    block.symbol = symbol;
+    block.distance = distance;
+    block.accepted = distance <= threshold;
     results.push_back(block);
   }
   return results;
@@ -177,11 +225,25 @@ std::vector<DespreadResult> despread(std::span<const std::uint8_t> chips,
                                      std::size_t threshold) {
   CTC_REQUIRE_MSG(chips.size() % kChipsPerSymbol == 0,
                   "chip stream must contain whole symbols");
-  std::vector<DespreadResult> results;
-  results.reserve(chips.size() / kChipsPerSymbol);
-  for (std::size_t offset = 0; offset < chips.size(); offset += kChipsPerSymbol) {
-    results.push_back(
-        despread_block(chips.subspan(offset, kChipsPerSymbol), threshold));
+  const std::size_t blocks = chips.size() / kChipsPerSymbol;
+  std::vector<DespreadResult> results(blocks);
+  if (blocks == 0) return results;
+  // Batched path: pack every block, then run the vectorized 16-row match
+  // over the whole word stream (8 words per AVX2 iteration).
+  const auto& kt = dsp::kernels::active();
+  thread_local std::vector<PackedChips> packed;
+  thread_local std::vector<std::uint8_t> symbols;
+  thread_local std::vector<std::uint8_t> distances;
+  packed.resize(blocks);
+  symbols.resize(blocks);
+  distances.resize(blocks);
+  kt.pack_hard_chips(chips.data(), blocks, packed.data());
+  kt.despread_words(packed.data(), blocks, packed_chip_table().data(),
+                    ~PackedChips{0}, symbols.data(), distances.data());
+  for (std::size_t k = 0; k < blocks; ++k) {
+    results[k].symbol = symbols[k];
+    results[k].distance = distances[k];
+    results[k].accepted = distances[k] <= threshold;
   }
   return results;
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dsp/kernels/kernels.h"
 #include "dsp/pulse.h"
 #include "dsp/require.h"
 
@@ -46,16 +47,11 @@ rvec OqpskDemodulator::soft_chips(std::span<const cplx> waveform,
   CTC_REQUIRE_MSG(waveform.size() >= (num_chips + 1) * spc,
                   "waveform too short for requested chip count");
   rvec soft(num_chips);
-  for (std::size_t i = 0; i < num_chips; ++i) {
-    const std::size_t start = i * spc;
-    const bool in_phase = (i % 2 == 0);
-    double acc = 0.0;
-    for (std::size_t s = 0; s < pulse_.size(); ++s) {
-      const cplx& x = waveform[start + s];
-      acc += (in_phase ? x.real() : x.imag()) * pulse_[s];
-    }
-    soft[i] = acc / pulse_energy_;
-  }
+  // Matched filter through the dispatched kernel (AVX2 deinterleaves the
+  // waveform once and runs contiguous dot products against the pulse).
+  dsp::kernels::active().oqpsk_mf(waveform.data(), num_chips, spc,
+                                  pulse_.data(), pulse_.size(), pulse_energy_,
+                                  soft.data());
   return soft;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dsp/kernels/kernels.h"
 #include "dsp/require.h"
 #include "dsp/resample.h"
 #include "sim/telemetry.h"
@@ -59,9 +60,8 @@ Receiver::Receiver(ReceiverConfig config)
       entry.reference =
           dsp::fractional_delay(std::span<const cplx>(shr_reference_), tau);
       CTC_REQUIRE(entry.reference.size() >= window);
-      for (std::size_t i = 0; i < window; ++i) {
-        entry.window_energy += std::norm(entry.reference[i]);
-      }
+      entry.window_energy =
+          dsp::kernels::active().energy(entry.reference.data(), window);
       timing_grid_.push_back(std::move(entry));
     }
   }
@@ -81,6 +81,7 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
   // shifted references (and their window energies) come from the grid
   // precomputed at construction; the fallback re-derives them per call.
   thread_local cvec retimed;
+  const dsp::kernels::KernelTable& kt = dsp::kernels::active();
   if (config_.timing_recovery) {
     const std::size_t window = shr_chips * spc;
     double best_metric = -1.0;
@@ -88,10 +89,8 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
     const auto score_candidate = [&](double tau,
                                      std::span<const cplx> shifted_reference,
                                      double reference_energy) {
-      cplx correlation{0.0, 0.0};
-      for (std::size_t i = 0; i < window; ++i) {
-        correlation += waveform[i] * std::conj(shifted_reference[i]);
-      }
+      const cplx correlation =
+          kt.dot_conj(waveform.data(), shifted_reference.data(), window);
       // Normalize: linear interpolation attenuates the shifted reference,
       // which would otherwise bias the search toward tau = 0.
       const double metric =
@@ -111,10 +110,8 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
            tau += config_.timing_search_step) {
         const cvec shifted_reference =
             dsp::fractional_delay(std::span<const cplx>(shr_reference_), tau);
-        double reference_energy = 0.0;
-        for (std::size_t i = 0; i < window; ++i) {
-          reference_energy += std::norm(shifted_reference[i]);
-        }
+        const double reference_energy =
+            kt.energy(shifted_reference.data(), window);
         score_candidate(tau, shifted_reference, reference_energy);
       }
     }
@@ -133,17 +130,14 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
   thread_local cvec equalized;
   equalized.assign(waveform.begin(), waveform.end());
   if (config_.equalize) {
-    cplx correlation{0.0, 0.0};
-    double reference_energy = 0.0;
     const std::size_t window = shr_chips * spc;
-    for (std::size_t i = 0; i < window; ++i) {
-      correlation += waveform[i] * std::conj(shr_reference_[i]);
-      reference_energy += std::norm(shr_reference_[i]);
-    }
+    const cplx correlation =
+        kt.dot_conj(waveform.data(), shr_reference_.data(), window);
+    const double reference_energy = kt.energy(shr_reference_.data(), window);
     const cplx h = correlation / reference_energy;
     if (std::abs(h) > 1e-9) {
       result.channel_estimate = h;
-      for (auto& x : equalized) x /= h;
+      kt.cdiv(equalized.data(), equalized.size(), h);
     }
     // Noise estimate from the residual r - h*ref over the SHR window.
     double residual_energy = 0.0;
@@ -237,18 +231,15 @@ std::optional<std::size_t> Receiver::synchronize(std::span<const cplx> waveform,
   if (waveform.size() < window) return std::nullopt;
   max_offset = std::min(max_offset, waveform.size() - window);
 
-  double reference_energy = 0.0;
-  for (const cplx& x : shr_reference_) reference_energy += std::norm(x);
+  const dsp::kernels::KernelTable& kt = dsp::kernels::active();
+  const double reference_energy = kt.energy(shr_reference_.data(), window);
 
   std::size_t best_offset = 0;
   double best_metric = 0.0;
   for (std::size_t offset = 0; offset <= max_offset; ++offset) {
-    cplx correlation{0.0, 0.0};
-    double received_energy = 0.0;
-    for (std::size_t i = 0; i < window; ++i) {
-      correlation += waveform[offset + i] * std::conj(shr_reference_[i]);
-      received_energy += std::norm(waveform[offset + i]);
-    }
+    const cplx correlation =
+        kt.dot_conj(waveform.data() + offset, shr_reference_.data(), window);
+    const double received_energy = kt.energy(waveform.data() + offset, window);
     if (received_energy <= 0.0) continue;
     // Normalized correlation in [0, 1].
     const double metric =

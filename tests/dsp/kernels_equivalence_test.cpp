@@ -1,0 +1,415 @@
+// Pins the kernel-layer equivalence contracts (see dsp/kernels/kernels.h):
+// bitwise-class kernels must agree bit for bit between the scalar table and
+// the best level this CPU supports; tolerance-class kernels must agree to a
+// small relative error. Every kernel runs across odd lengths, unaligned
+// buffer offsets and tail remainders so the SIMD head/body/tail splits are
+// all exercised. On a CPU without AVX2 the comparison degenerates to
+// scalar vs scalar and still passes.
+#include "dsp/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "dsp/rng.h"
+#include "dsp/types.h"
+
+namespace ctc::dsp::kernels {
+namespace {
+
+// Lengths spanning every AVX2 head/interior/tail combination: below one
+// vector, exact multiples, one-off remainders, and large mixed cases.
+const std::vector<std::size_t> kLengths = {1,  2,  3,  5,   7,   8,   15,  16,
+                                           17, 31, 33, 64,  65,  100, 127, 128,
+                                           129};
+
+// Offsets into an oversized backing buffer: 0 keeps the vector-friendly
+// base alignment, odd offsets shift every load/store off it.
+const std::vector<std::size_t> kOffsets = {0, 1, 3};
+
+cvec random_cvec(Rng& rng, std::size_t n) {
+  cvec v(n);
+  for (auto& x : v) x = rng.complex_gaussian(1.0);
+  return v;
+}
+
+rvec random_rvec(Rng& rng, std::size_t n) {
+  rvec v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+void expect_bitwise(const cvec& a, const cvec& b, const char* what,
+                    std::size_t n, std::size_t offset) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(cplx)), 0)
+        << what << " diverges at i=" << i << " (n=" << n
+        << ", offset=" << offset << "): (" << a[i].real() << "," << a[i].imag()
+        << ") vs (" << b[i].real() << "," << b[i].imag() << ")";
+  }
+}
+
+void expect_close(const cvec& a, const cvec& b, double tol, const char* what,
+                  std::size_t n, std::size_t offset) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), tol)
+        << what << " i=" << i << " n=" << n << " offset=" << offset;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), tol)
+        << what << " i=" << i << " n=" << n << " offset=" << offset;
+  }
+}
+
+/// Runs `body(scalar_out, best_out, n, offset)` over the length x offset
+/// grid. The body fills both outputs from identical inputs at the two
+/// dispatch levels.
+template <class Body>
+void for_each_case(const Body& body) {
+  for (std::size_t n : kLengths) {
+    for (std::size_t offset : kOffsets) {
+      body(n, offset);
+    }
+  }
+}
+
+const KernelTable& scalar_table() { return table(SimdLevel::scalar); }
+const KernelTable& best_table() { return table(best_supported_level()); }
+
+TEST(KernelsDispatch, LevelNamesAndActiveTableResolve) {
+  EXPECT_STREQ(level_name(SimdLevel::scalar), "scalar");
+  EXPECT_STREQ(level_name(SimdLevel::avx2), "avx2");
+  // active() must resolve to a table and stay stable across calls.
+  const KernelTable& first = active();
+  EXPECT_EQ(&first, &active());
+  EXPECT_EQ(&table(active_level()), &first);
+}
+
+TEST(KernelsEquivalence, CaddBitwise) {
+  Rng rng = Rng::for_stream(1, 1);
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    const cvec x = random_cvec(rng, n + offset);
+    const cvec y = random_cvec(rng, n + offset);
+    cvec a = x, b = x;
+    scalar_table().cadd(a.data() + offset, y.data() + offset, n);
+    best_table().cadd(b.data() + offset, y.data() + offset, n);
+    expect_bitwise(a, b, "cadd", n, offset);
+  });
+}
+
+TEST(KernelsEquivalence, CscaleBitwise) {
+  Rng rng = Rng::for_stream(1, 2);
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    const cvec x = random_cvec(rng, n + offset);
+    const cplx s = rng.complex_gaussian(1.0);
+    cvec a = x, b = x;
+    scalar_table().cscale(a.data() + offset, n, s);
+    best_table().cscale(b.data() + offset, n, s);
+    expect_bitwise(a, b, "cscale", n, offset);
+  });
+}
+
+TEST(KernelsEquivalence, RscaleBitwise) {
+  Rng rng = Rng::for_stream(1, 3);
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    const cvec x = random_cvec(rng, n + offset);
+    const double s = rng.uniform(0.5, 2.0);
+    cvec a = x, b = x;
+    scalar_table().rscale(a.data() + offset, n, s);
+    best_table().rscale(b.data() + offset, n, s);
+    expect_bitwise(a, b, "rscale", n, offset);
+  });
+}
+
+TEST(KernelsEquivalence, CmulBitwise) {
+  Rng rng = Rng::for_stream(1, 4);
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    const cvec x = random_cvec(rng, n + offset);
+    const cvec y = random_cvec(rng, n + offset);
+    cvec a = x, b = x;
+    scalar_table().cmul(a.data() + offset, y.data() + offset, n);
+    best_table().cmul(b.data() + offset, y.data() + offset, n);
+    expect_bitwise(a, b, "cmul", n, offset);
+  });
+}
+
+TEST(KernelsEquivalence, CdivBitwise) {
+  Rng rng = Rng::for_stream(1, 5);
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    const cvec x = random_cvec(rng, n + offset);
+    // Near-unit-magnitude divisor, like the channel estimates this serves.
+    const cplx h = rng.complex_gaussian(1.0) + cplx{2.0, 0.0};
+    cvec a = x, b = x;
+    scalar_table().cdiv(a.data() + offset, n, h);
+    best_table().cdiv(b.data() + offset, n, h);
+    expect_bitwise(a, b, "cdiv", n, offset);
+    // And the scalar expression must match std::complex operator/= exactly
+    // (that is what the legacy call sites compiled to).
+    for (std::size_t i = 0; i < n; ++i) {
+      cplx expected = x[offset + i];
+      expected /= h;
+      EXPECT_EQ(std::memcmp(&expected, &a[offset + i], sizeof(cplx)), 0)
+          << "cdiv differs from operator/= at i=" << i;
+    }
+  });
+}
+
+TEST(KernelsEquivalence, ApplyWindowBitwise) {
+  Rng rng = Rng::for_stream(1, 6);
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    const cvec x = random_cvec(rng, n + offset);
+    const rvec w = random_rvec(rng, n + offset);
+    cvec a(n), b(n);
+    scalar_table().apply_window(x.data() + offset, w.data() + offset, n,
+                                a.data());
+    best_table().apply_window(x.data() + offset, w.data() + offset, n,
+                              b.data());
+    expect_bitwise(a, b, "apply_window", n, offset);
+  });
+}
+
+TEST(KernelsEquivalence, AccumulateMag2Bitwise) {
+  Rng rng = Rng::for_stream(1, 7);
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    const cvec x = random_cvec(rng, n + offset);
+    const rvec init = random_rvec(rng, n);
+    rvec a = init, b = init;
+    scalar_table().accumulate_mag2(a.data(), x.data() + offset, n);
+    best_table().accumulate_mag2(b.data(), x.data() + offset, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+          << "accumulate_mag2 i=" << i << " n=" << n << " offset=" << offset;
+    }
+  });
+}
+
+TEST(KernelsEquivalence, TwoTapBitwise) {
+  Rng rng = Rng::for_stream(1, 8);
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    const cvec x = random_cvec(rng, n + offset);
+    const double frac = rng.uniform(0.0, 1.0);
+    cvec a = x, b = x;
+    scalar_table().two_tap(a.data() + offset, n, 1.0 - frac, frac);
+    best_table().two_tap(b.data() + offset, n, 1.0 - frac, frac);
+    expect_bitwise(a, b, "two_tap", n, offset);
+  });
+}
+
+TEST(KernelsEquivalence, EnergyBitwise) {
+  Rng rng = Rng::for_stream(1, 9);
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    const cvec x = random_cvec(rng, n + offset);
+    const double a = scalar_table().energy(x.data() + offset, n);
+    const double b = best_table().energy(x.data() + offset, n);
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+        << "energy n=" << n << " offset=" << offset << ": " << a << " vs "
+        << b;
+  });
+}
+
+TEST(KernelsEquivalence, DotConjBitwise) {
+  Rng rng = Rng::for_stream(1, 10);
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    const cvec x = random_cvec(rng, n + offset);
+    const cvec y = random_cvec(rng, n + offset);
+    const cplx a = scalar_table().dot_conj(x.data() + offset,
+                                           y.data() + offset, n);
+    const cplx b = best_table().dot_conj(x.data() + offset, y.data() + offset,
+                                         n);
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(cplx)), 0)
+        << "dot_conj n=" << n << " offset=" << offset;
+  });
+}
+
+TEST(KernelsEquivalence, CumulantAccBitwise) {
+  Rng rng = Rng::for_stream(1, 11);
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    const cvec x = random_cvec(rng, n + offset);
+    // Nonzero start_index exercises the lane-alignment head path.
+    for (std::size_t start : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+      CumulantLanes a{}, b{};
+      scalar_table().cumulant_acc(x.data() + offset, n, start, &a);
+      best_table().cumulant_acc(x.data() + offset, n, start, &b);
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(CumulantLanes)), 0)
+          << "cumulant lanes n=" << n << " offset=" << offset
+          << " start=" << start;
+      const CumulantSums fa = a.fold();
+      const CumulantSums fb = b.fold();
+      EXPECT_EQ(std::memcmp(&fa, &fb, sizeof(CumulantSums)), 0)
+          << "cumulant fold n=" << n << " offset=" << offset
+          << " start=" << start;
+    }
+  });
+}
+
+TEST(KernelsEquivalence, CumulantAccPartitionInvariant) {
+  // Splitting a stream into arbitrary blocks must reproduce the one-shot
+  // sums bit for bit — this is what StreamingCumulants relies on.
+  Rng rng = Rng::for_stream(1, 12);
+  const cvec x = random_cvec(rng, 129);
+  CumulantLanes whole{};
+  best_table().cumulant_acc(x.data(), x.size(), 0, &whole);
+  for (std::size_t split : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    CumulantLanes parts{};
+    std::size_t done = 0;
+    while (done < x.size()) {
+      const std::size_t chunk = std::min(split, x.size() - done);
+      best_table().cumulant_acc(x.data() + done, chunk, done, &parts);
+      done += chunk;
+    }
+    EXPECT_EQ(std::memcmp(&whole, &parts, sizeof(CumulantLanes)), 0)
+        << "partition split=" << split;
+  }
+}
+
+TEST(KernelsEquivalence, FirMacTolerance) {
+  Rng rng = Rng::for_stream(1, 13);
+  for (std::size_t n : kLengths) {
+    for (std::size_t t : {std::size_t{1}, std::size_t{4}, std::size_t{9}}) {
+      const cvec x = random_cvec(rng, n);
+      const rvec taps = random_rvec(rng, t);
+      cvec a(n + t - 1, cplx{0.0, 0.0});
+      cvec b(n + t - 1, cplx{0.0, 0.0});
+      scalar_table().fir_mac(x.data(), n, taps.data(), t, a.data());
+      best_table().fir_mac(x.data(), n, taps.data(), t, b.data());
+      expect_close(a, b, 1e-12, "fir_mac", n, t);
+    }
+  }
+}
+
+TEST(KernelsEquivalence, RotateToleranceWithBitwisePhase) {
+  Rng rng = Rng::for_stream(1, 14);
+  for (std::size_t n : kLengths) {
+    const cvec x = random_cvec(rng, n);
+    const double phase = rng.uniform(-3.0, 3.0);
+    const double step = rng.uniform(-0.3, 0.3);
+    cvec a(n), b(n);
+    const double pa = scalar_table().rotate(x.data(), n, a.data(), phase, step);
+    const double pb = best_table().rotate(x.data(), n, b.data(), phase, step);
+    // Samples: tolerance. Final phase: bitwise (mixer state must not fork
+    // between dispatch levels).
+    expect_close(a, b, 1e-11, "rotate", n, 0);
+    EXPECT_EQ(std::memcmp(&pa, &pb, sizeof(double)), 0)
+        << "rotate final phase n=" << n;
+  }
+}
+
+TEST(KernelsEquivalence, RotateInPlaceMatchesOutOfPlace) {
+  Rng rng = Rng::for_stream(1, 15);
+  const cvec x = random_cvec(rng, 127);
+  cvec out(127);
+  cvec inplace = x;
+  const double p1 = best_table().rotate(x.data(), x.size(), out.data(), 0.5,
+                                        0.01);
+  const double p2 = best_table().rotate(inplace.data(), inplace.size(),
+                                        inplace.data(), 0.5, 0.01);
+  EXPECT_EQ(p1, p2);
+  expect_bitwise(out, inplace, "rotate in-place", x.size(), 0);
+}
+
+TEST(KernelsEquivalence, OqpskMfTolerance) {
+  Rng rng = Rng::for_stream(1, 16);
+  for (std::size_t num_chips : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                                std::size_t{33}}) {
+    for (std::size_t spc : {std::size_t{2}, std::size_t{4}}) {
+      const std::size_t plen = 2 * spc;
+      const cvec wave = random_cvec(rng, (num_chips + 1) * spc);
+      const rvec pulse = random_rvec(rng, plen);
+      double pulse_energy = 0.0;
+      for (double p : pulse) pulse_energy += p * p;
+      pulse_energy += 1.0;  // keep the divisor well away from zero
+      rvec a(num_chips), b(num_chips);
+      scalar_table().oqpsk_mf(wave.data(), num_chips, spc, pulse.data(), plen,
+                              pulse_energy, a.data());
+      best_table().oqpsk_mf(wave.data(), num_chips, spc, pulse.data(), plen,
+                            pulse_energy, b.data());
+      for (std::size_t i = 0; i < num_chips; ++i) {
+        EXPECT_NEAR(a[i], b[i], 1e-12)
+            << "oqpsk_mf chip " << i << " num_chips=" << num_chips
+            << " spc=" << spc;
+      }
+    }
+  }
+}
+
+TEST(KernelsEquivalence, PackHardChipsBitwise) {
+  Rng rng = Rng::for_stream(1, 17);
+  for (std::size_t m : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                        std::size_t{8}, std::size_t{9}, std::size_t{20}}) {
+    std::vector<std::uint8_t> chips(32 * m);
+    for (auto& c : chips) c = static_cast<std::uint8_t>(rng.uniform_index(2));
+    std::vector<std::uint32_t> a(m, 0xdeadbeefu), b(m, 0xfeedfaceu);
+    scalar_table().pack_hard_chips(chips.data(), m, a.data());
+    best_table().pack_hard_chips(chips.data(), m, b.data());
+    EXPECT_EQ(a, b) << "pack_hard_chips m=" << m;
+  }
+}
+
+TEST(KernelsEquivalence, PackSignChipsBitwise) {
+  Rng rng = Rng::for_stream(1, 18);
+  for (std::size_t m : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                        std::size_t{8}, std::size_t{9}, std::size_t{20}}) {
+    rvec freq = random_rvec(rng, 32 * m);
+    freq[0] = 0.0;  // the > 0 boundary itself
+    std::vector<std::uint32_t> a(m), b(m);
+    scalar_table().pack_sign_chips(freq.data(), m, a.data());
+    best_table().pack_sign_chips(freq.data(), m, b.data());
+    EXPECT_EQ(a, b) << "pack_sign_chips m=" << m;
+  }
+}
+
+TEST(KernelsEquivalence, DespreadWordsBitwise) {
+  Rng rng = Rng::for_stream(1, 19);
+  std::vector<std::uint32_t> rows(16);
+  for (auto& r : rows) {
+    r = static_cast<std::uint32_t>(rng.uniform_index(0x100000000ull));
+  }
+  // Duplicate a row so the lowest-index tie-break is actually exercised.
+  rows[9] = rows[2];
+  for (std::size_t m : {std::size_t{1}, std::size_t{5}, std::size_t{8},
+                        std::size_t{13}, std::size_t{16}, std::size_t{40}}) {
+    std::vector<std::uint32_t> received(m);
+    for (auto& r : received) {
+      r = static_cast<std::uint32_t>(rng.uniform_index(0x100000000ull));
+    }
+    received[0] = rows[2];  // exact match -> must pick symbol 2, never 9
+    for (std::uint32_t mask : {~std::uint32_t{0}, ~std::uint32_t{1}}) {
+      std::vector<std::uint8_t> sym_a(m), sym_b(m), dist_a(m), dist_b(m);
+      scalar_table().despread_words(received.data(), m, rows.data(), mask,
+                                    sym_a.data(), dist_a.data());
+      best_table().despread_words(received.data(), m, rows.data(), mask,
+                                  sym_b.data(), dist_b.data());
+      EXPECT_EQ(sym_a, sym_b) << "despread symbols m=" << m;
+      EXPECT_EQ(dist_a, dist_b) << "despread distances m=" << m;
+      EXPECT_EQ(sym_a[0], 2u) << "tie-break must pick the lowest row";
+    }
+  }
+}
+
+TEST(KernelsEquivalence, Match16MatchesDespreadWords) {
+  Rng rng = Rng::for_stream(1, 20);
+  std::vector<std::uint32_t> rows(16);
+  for (auto& r : rows) {
+    r = static_cast<std::uint32_t>(rng.uniform_index(0x100000000ull));
+  }
+  for (int trial = 0; trial < 64; ++trial) {
+    const auto word =
+        static_cast<std::uint32_t>(rng.uniform_index(0x100000000ull));
+    const std::uint32_t mask = trial % 2 == 0 ? ~std::uint32_t{0}
+                                              : ~std::uint32_t{1};
+    std::uint8_t sym_s = 0, dist_s = 0, sym_b = 0, dist_b = 0;
+    scalar_table().match16(word, rows.data(), mask, &sym_s, &dist_s);
+    best_table().match16(word, rows.data(), mask, &sym_b, &dist_b);
+    EXPECT_EQ(sym_s, sym_b);
+    EXPECT_EQ(dist_s, dist_b);
+    std::uint8_t sym_w = 0, dist_w = 0;
+    best_table().despread_words(&word, 1, rows.data(), mask, &sym_w, &dist_w);
+    EXPECT_EQ(sym_s, sym_w);
+    EXPECT_EQ(dist_s, dist_w);
+  }
+}
+
+}  // namespace
+}  // namespace ctc::dsp::kernels

@@ -27,6 +27,13 @@ to expose them. This lint enforces the reproducibility rules *statically*:
                  be fed clock-derived values — wall time belongs in timer
                  metrics, which determinism-checked output excludes.
 
+  intrinsics     Raw SIMD intrinsics (<immintrin.h>, __m128/__m256/__m512
+                 vector types, _mm*_ calls) are banned outside
+                 src/dsp/kernels/. Hand-vectorized code is only bitwise-safe
+                 when it honors the kernel layer's lane/tail contracts and
+                 ships with a scalar twin behind runtime dispatch — ad-hoc
+                 intrinsics elsewhere fork numerics between build hosts.
+
 A finding can be waived inline with `// det-lint: allow(<rule>)` on the
 flagged line; waivers are expected to be rare and justified in an adjacent
 comment. Allowlisted files are enumerated below WITH the reason they are
@@ -123,6 +130,19 @@ UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)")
 UNORDERED_DIRECT_ITER_RE = re.compile(
     r"for\s*\([^;)]*:\s*[^)]*\bstd::unordered_(?:map|set|multimap|multiset)\b")
+
+# -- rule: intrinsics --------------------------------------------------------
+
+# The one directory allowed to speak raw SIMD. Everyone else calls through
+# the dispatched dsp::kernels::KernelTable, which carries the scalar twin
+# and the lane/tail equivalence contracts.
+INTRINSICS_ALLOWED_PREFIX = "src/dsp/kernels/"
+INTRINSICS_PATTERNS = [
+    (re.compile(r"#\s*include\s*[<\"](?:imm|x86|xmm|emm|pmm|tmm|smm|nmm|wmm|avx\w*)intrin\.h[>\"]"),
+     "vendor intrinsics header"),
+    (re.compile(r"\b__m(?:128|256|512)[di]?\b"), "raw SIMD vector type"),
+    (re.compile(r"\b_mm(?:256|512)?_\w+\s*\("), "raw SIMD intrinsic call"),
+]
 
 # -- rule: telem-mix ---------------------------------------------------------
 
@@ -277,6 +297,18 @@ def lint_file(path: Path, rel: str) -> list:
                          "deterministic")
                     break
 
+    # intrinsics ------------------------------------------------------------
+    if not rel.startswith(INTRINSICS_ALLOWED_PREFIX):
+        for line_no, line in enumerate(code_lines, 1):
+            for pattern, what in INTRINSICS_PATTERNS:
+                if pattern.search(line):
+                    flag(line_no, "intrinsics",
+                         f"{what} outside {INTRINSICS_ALLOWED_PREFIX} — "
+                         "hand-vectorized code belongs in the dispatched "
+                         "kernel layer (dsp::kernels) next to its scalar "
+                         "twin")
+                    break
+
     # telem-mix -------------------------------------------------------------
     if rel not in TELEM_ALLOWLIST:
         for line_no, line in enumerate(code_lines, 1):
@@ -328,6 +360,9 @@ def main(argv: list) -> int:
             print(f"allowlist [{title}]:")
             for path, reason in allowlist.items():
                 print(f"  {path}: {reason}")
+        print("allowlist [intrinsics]:")
+        print(f"  {INTRINSICS_ALLOWED_PREFIX}*: the dispatched kernel layer "
+              "(scalar twin + equivalence contracts)")
         return 0
 
     if args.files:

@@ -148,6 +148,37 @@ class LintFixtureTest(unittest.TestCase):
             "std::map<int, int> rows;\n"
             "void dump() { for (const auto& kv : rows) { emit(kv); } }\n", [])
 
+    # -- intrinsics ---------------------------------------------------------
+
+    def test_intrinsics_include_fails(self):
+        self.assert_rules("#include <immintrin.h>\n", ["intrinsics"])
+
+    def test_intrinsics_vector_type_fails(self):
+        self.assert_rules("__m256d acc = _mm256_setzero_pd();\n",
+                          ["intrinsics"])
+
+    def test_intrinsics_sse_call_fails(self):
+        self.assert_rules("int bits = _mm_popcnt_u32(word);\n",
+                          ["intrinsics"])
+
+    def test_intrinsics_kernel_layer_passes(self):
+        self.assert_rules(
+            "#include <immintrin.h>\n"
+            "__m256d v = _mm256_loadu_pd(p);\n", [],
+            rel="src/dsp/kernels/kernels_avx2.cpp")
+
+    def test_intrinsics_comment_mention_passes(self):
+        self.assert_rules("// the AVX2 path uses _mm256_fmadd_pd()\n", [])
+
+    def test_intrinsics_builtin_popcount_passes(self):
+        # Compiler builtins are portable across the dispatch levels; only
+        # vendor vector intrinsics are fenced into the kernel layer.
+        self.assert_rules("int bits = __builtin_popcount(word);\n", [])
+
+    def test_intrinsics_waiver_suppresses(self):
+        self.assert_rules(
+            "#include <immintrin.h>  // det-lint: allow(intrinsics)\n", [])
+
     # -- telem-mix ----------------------------------------------------------
 
     def test_record_timer_outside_telemetry_fails(self):
