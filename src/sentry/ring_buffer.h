@@ -1,0 +1,103 @@
+// Lock-free single-producer/single-consumer ring buffer for IQ ingestion.
+//
+// The sentry's ingest path decouples a sample source (file replay, live
+// generator, some day an SDR driver) from the frame scanner: the producer
+// pushes IQ blocks, the consumer drains them at its own pace, and when the
+// consumer falls behind the producer *drops at the ingest boundary* with
+// exact accounting instead of blocking — an always-on monitor must shed
+// load, not stall the radio. Overflow semantics are explicit: try_push
+// accepts as many samples as fit and reports the count; the caller decides
+// what the remainder means (ChannelPipeline counts it as dropped).
+//
+// Concurrency contract: exactly one producer thread calls try_push and
+// exactly one consumer thread calls try_pop. Indices are monotonically
+// increasing sample counts (head = consumed, tail = produced) so
+// full/empty never alias; the producer owns tail_, the consumer owns
+// head_, and each observes the other side with acquire loads paired with
+// its own release store. size() from a third thread is a racy-but-bounded
+// estimate — fine for the snapshot endpoint, never used for control flow.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "dsp/require.h"
+
+namespace ctc::sentry {
+
+template <class T>
+class SpscRing {
+ public:
+  /// Capacity must be a power of two (index masking) and at least 2.
+  explicit SpscRing(std::size_t capacity) : mask_(capacity - 1) {
+    CTC_REQUIRE(capacity >= 2);
+    CTC_REQUIRE_MSG((capacity & (capacity - 1)) == 0,
+                    "SpscRing capacity must be a power of two");
+    slots_ = std::make_unique<T[]>(capacity);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Copies as many of `items` as currently fit and returns
+  /// that count; the tail [count, items.size()) is the caller's overflow.
+  std::size_t try_push(std::span<const T> items) {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t free_slots = capacity() - (tail - head);
+    const std::size_t count = std::min(items.size(), free_slots);
+    for (std::size_t i = 0; i < count; ++i) {
+      slots_[(tail + i) & mask_] = items[i];
+    }
+    tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Consumer side. Pops up to out.size() queued samples into `out` and
+  /// returns the count (0 when empty).
+  std::size_t try_pop(std::span<T> out) {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t count = std::min(out.size(), tail - head);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Queued sample count. Exact from the producer or consumer thread; from
+  /// anywhere else a bounded estimate. Loading head BEFORE tail keeps the
+  /// difference non-negative (tail read later can only be >= the head
+  /// snapshot); concurrent progress between the two loads can overshoot, so
+  /// the clamp keeps the estimate within capacity.
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return std::min(tail - head, capacity());
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Total samples ever accepted (producer-side monotonic count).
+  std::size_t produced() const {
+    return tail_.load(std::memory_order_acquire);
+  }
+
+  /// Total samples ever popped (consumer-side monotonic count).
+  std::size_t consumed() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::unique_ptr<T[]> slots_;
+  std::size_t mask_ = 0;
+  // Separate cache lines so the producer's tail stores never bounce the
+  // consumer's head line.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace ctc::sentry

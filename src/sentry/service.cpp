@@ -1,0 +1,213 @@
+#include "sentry/service.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "dsp/require.h"
+#include "sim/telemetry.h"
+
+namespace ctc::sentry {
+
+std::uint64_t ServiceReport::total_ingested() const {
+  std::uint64_t total = 0;
+  for (const ChannelReport& channel : channels) total += channel.ingested;
+  return total;
+}
+
+std::uint64_t ServiceReport::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const ChannelReport& channel : channels) total += channel.dropped;
+  return total;
+}
+
+std::uint64_t ServiceReport::total_verdicts() const {
+  std::uint64_t total = 0;
+  for (const ChannelReport& channel : channels) {
+    total += channel.scanner.verdicts;
+  }
+  return total;
+}
+
+std::uint64_t ServiceReport::total_attacks() const {
+  std::uint64_t total = 0;
+  for (const ChannelReport& channel : channels) {
+    total += channel.scanner.verdicts_attack;
+  }
+  return total;
+}
+
+std::string SentryCounters::snapshot_json() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "{\"sentry_snapshot_schema\":1,\"ingested\":%" PRIu64
+                ",\"accepted\":%" PRIu64 ",\"dropped\":%" PRIu64
+                ",\"frames_detected\":%" PRIu64 ",\"verdicts\":%" PRIu64
+                ",\"attacks\":%" PRIu64 "}",
+                ingested.load(std::memory_order_relaxed),
+                accepted.load(std::memory_order_relaxed),
+                dropped.load(std::memory_order_relaxed),
+                frames_detected.load(std::memory_order_relaxed),
+                verdicts.load(std::memory_order_relaxed),
+                attacks.load(std::memory_order_relaxed));
+  return buffer;
+}
+
+struct SentryService::Impl {
+  std::vector<std::thread> workers;
+  std::vector<ChannelReport> reports;
+  std::vector<sim::telemetry::TrialSnapshot> snapshots;
+  std::vector<std::exception_ptr> errors;
+  bool started = false;
+  bool joined = false;
+};
+
+SentryService::SentryService(ServiceConfig config, SourceFactory make_source)
+    : impl_(std::make_unique<Impl>()),
+      config_(config),
+      make_source_(std::move(make_source)) {
+  CTC_REQUIRE(config_.channels >= 1);
+  CTC_REQUIRE(config_.shards >= 1);
+  CTC_REQUIRE(config_.channel.ingest_block >= 1);
+  CTC_REQUIRE(config_.channel.drain_block >= 1);
+  CTC_REQUIRE(make_source_ != nullptr);
+}
+
+SentryService::~SentryService() {
+  for (std::thread& worker : impl_->workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+namespace {
+
+/// One channel, start to finish, in lockstep (see the header comment).
+ChannelReport run_channel(const ChannelConfig& config, std::size_t channel,
+                          SampleSource& source, SentryCounters& counters) {
+  ChannelReport report;
+  SpscRing<cplx> ring(config.ring_capacity);
+  StreamScanner scanner(
+      config.scanner, channel, [&](const VerdictRecord& record) {
+        report.verdicts_jsonl += record.to_jsonl();
+        report.verdicts_jsonl += '\n';
+        counters.verdicts.fetch_add(1, std::memory_order_relaxed);
+        if (record.is_attack) {
+          counters.attacks.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+
+  cvec ingest(config.ingest_block);
+  cvec drain(config.drain_block);
+  const auto drain_once = [&] {
+    const std::size_t got = ring.try_pop(std::span<cplx>(drain));
+    if (got == 0) return false;
+    // Queue depth AFTER the pop = what is still waiting when this block
+    // reaches the scanner; dropped total lets the verdict record carry the
+    // books so far.
+    scanner.push(std::span<const cplx>(drain.data(), got), ring.size(),
+                 report.dropped);
+    return true;
+  };
+
+  for (;;) {
+    const std::size_t produced =
+        source.next_block(std::span<cplx>(ingest));
+    if (produced == 0) break;
+    const std::size_t accepted =
+        ring.try_push(std::span<const cplx>(ingest.data(), produced));
+    report.ingested += produced;
+    report.accepted += accepted;
+    report.dropped += produced - accepted;
+    counters.ingested.fetch_add(produced, std::memory_order_relaxed);
+    counters.accepted.fetch_add(accepted, std::memory_order_relaxed);
+    counters.dropped.fetch_add(produced - accepted,
+                               std::memory_order_relaxed);
+    CTC_TELEM_COUNT("sentry", "ingested", produced);
+    if (produced != accepted) {
+      CTC_TELEM_COUNT("sentry", "dropped", produced - accepted);
+    }
+    // At most one drain block per ingest block: when drain_block <
+    // ingest_block the ring fills at a fixed rate and overload drops are
+    // exact and reproducible.
+    drain_once();
+  }
+  // Source exhausted: drain the backlog, then flush the scanner's tail.
+  while (drain_once()) {
+  }
+  scanner.flush();
+
+  report.scanner = scanner.stats();
+  counters.frames_detected.fetch_add(report.scanner.frames_detected,
+                                     std::memory_order_relaxed);
+  // The books must balance exactly: every produced sample was either
+  // accepted (and eventually scanned) or dropped at ingest.
+  CTC_REQUIRE(report.accepted + report.dropped == report.ingested);
+  CTC_REQUIRE(report.scanner.samples_in == report.accepted);
+  return report;
+}
+
+}  // namespace
+
+void SentryService::start() {
+  CTC_REQUIRE_MSG(!impl_->started, "SentryService::start called twice");
+  impl_->started = true;
+
+  const std::size_t shards = std::min(config_.shards, config_.channels);
+  impl_->reports.resize(config_.channels);
+  impl_->snapshots.resize(config_.channels);
+  impl_->errors.resize(config_.channels);
+
+  impl_->workers.reserve(shards);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    impl_->workers.emplace_back([this, shard, shards] {
+      for (std::size_t channel = shard; channel < config_.channels;
+           channel += shards) {
+        sim::telemetry::TrialScope scope;
+        try {
+          std::unique_ptr<SampleSource> source = make_source_(channel);
+          CTC_REQUIRE(source != nullptr);
+          impl_->reports[channel] =
+              run_channel(config_.channel, channel, *source, counters_);
+        } catch (...) {
+          impl_->errors[channel] = std::current_exception();
+        }
+        impl_->snapshots[channel] = scope.capture();
+      }
+    });
+  }
+}
+
+ServiceReport SentryService::join() {
+  CTC_REQUIRE_MSG(impl_->started, "SentryService::join before start");
+  CTC_REQUIRE_MSG(!impl_->joined, "SentryService::join called twice");
+  impl_->joined = true;
+
+  for (std::thread& worker : impl_->workers) worker.join();
+  impl_->workers.clear();
+
+  // Commit telemetry in channel order — the same fixed-order merge the
+  // trial engine uses, so the telemetry JSON is shard-count independent.
+  for (sim::telemetry::TrialSnapshot& snapshot : impl_->snapshots) {
+    sim::telemetry::commit(std::move(snapshot));
+  }
+  for (const std::exception_ptr& error : impl_->errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  ServiceReport report;
+  report.channels = std::move(impl_->reports);
+  for (const ChannelReport& channel : report.channels) {
+    report.verdicts_jsonl += channel.verdicts_jsonl;
+  }
+  return report;
+}
+
+ServiceReport SentryService::run() {
+  start();
+  return join();
+}
+
+}  // namespace ctc::sentry

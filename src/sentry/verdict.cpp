@@ -1,0 +1,59 @@
+#include "sentry/verdict.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ctc::sentry {
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%" PRIu64, value);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string VerdictRecord::to_jsonl() const {
+  std::string out;
+  out.reserve(256);
+  out += "{\"sentry_verdict_schema\":";
+  append_u64(out, static_cast<std::uint64_t>(kVerdictSchemaVersion));
+  out += ",\"channel\":";
+  append_u64(out, channel);
+  out += ",\"frame\":";
+  append_u64(out, frame_index);
+  out += ",\"stream_pos\":";
+  append_u64(out, stream_position);
+  out += ",\"frame_samples\":";
+  append_u64(out, frame_samples);
+  out += ",\"frame_ok\":";
+  out += frame_ok ? "true" : "false";
+  out += ",\"points\":";
+  append_u64(out, points);
+  out += ",\"valid\":";
+  out += valid ? "true" : "false";
+  out += ",\"de2\":";
+  append_double(out, de2);
+  out += ",\"c40\":";
+  append_double(out, c40);
+  out += ",\"c42\":";
+  append_double(out, c42);
+  out += ",\"is_attack\":";
+  out += is_attack ? "true" : "false";
+  out += ",\"queue_depth\":";
+  append_u64(out, queue_depth);
+  out += ",\"dropped\":";
+  append_u64(out, dropped_before);
+  out += "}";
+  return out;
+}
+
+}  // namespace ctc::sentry

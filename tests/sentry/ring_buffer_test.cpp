@@ -1,0 +1,95 @@
+#include "sentry/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "dsp/require.h"
+
+namespace ctc::sentry {
+namespace {
+
+TEST(SentryRingBufferTest, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW(SpscRing<int>(0), ContractError);
+  EXPECT_THROW(SpscRing<int>(1), ContractError);
+  EXPECT_THROW(SpscRing<int>(3), ContractError);
+  EXPECT_THROW(SpscRing<int>(100), ContractError);
+  EXPECT_NO_THROW(SpscRing<int>(2));
+  EXPECT_NO_THROW(SpscRing<int>(1024));
+}
+
+TEST(SentryRingBufferTest, PushPopRoundTrips) {
+  SpscRing<int> ring(8);
+  std::vector<int> in{1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.try_push(in), 5u);
+  EXPECT_EQ(ring.size(), 5u);
+
+  std::vector<int> out(5);
+  EXPECT_EQ(ring.try_pop(out), 5u);
+  EXPECT_EQ(out, in);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SentryRingBufferTest, OverflowAcceptsExactlyFreeSpace) {
+  SpscRing<int> ring(8);
+  std::vector<int> block(6, 7);
+  EXPECT_EQ(ring.try_push(block), 6u);
+  // Only 2 slots left: a 6-item push accepts exactly 2 and reports it.
+  std::vector<int> more{10, 11, 12, 13, 14, 15};
+  EXPECT_EQ(ring.try_push(more), 2u);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.try_push(more), 0u);
+
+  // The accepted prefix is the one that comes out.
+  std::vector<int> out(8);
+  EXPECT_EQ(ring.try_pop(out), 8u);
+  EXPECT_EQ(out[6], 10);
+  EXPECT_EQ(out[7], 11);
+}
+
+TEST(SentryRingBufferTest, WrapsAroundPreservingOrder) {
+  SpscRing<int> ring(4);
+  std::vector<int> scratch(3);
+  int next = 0;
+  int expect = 0;
+  // Push/pop in a ragged pattern far past several wraparounds.
+  for (int round = 0; round < 100; ++round) {
+    std::vector<int> in{next, next + 1, next + 2};
+    const std::size_t accepted = ring.try_push(in);
+    next += static_cast<int>(accepted);
+    const std::size_t got = ring.try_pop(scratch);
+    for (std::size_t i = 0; i < got; ++i) {
+      EXPECT_EQ(scratch[i], expect++);
+    }
+  }
+  EXPECT_EQ(ring.produced(), ring.consumed() + ring.size());
+}
+
+TEST(SentryRingBufferTest, MonotonicTotalsBalance) {
+  SpscRing<int> ring(16);
+  std::vector<int> in(10);
+  std::iota(in.begin(), in.end(), 0);
+  std::vector<int> out(4);
+
+  std::size_t pushed = 0;
+  std::size_t popped = 0;
+  for (int i = 0; i < 50; ++i) {
+    pushed += ring.try_push(in);
+    popped += ring.try_pop(out);
+  }
+  EXPECT_EQ(ring.produced(), pushed);
+  EXPECT_EQ(ring.consumed(), popped);
+  EXPECT_EQ(ring.size(), pushed - popped);
+}
+
+TEST(SentryRingBufferTest, PopFromEmptyAndPushEmptySpanAreNoOps) {
+  SpscRing<int> ring(4);
+  std::vector<int> out(4);
+  EXPECT_EQ(ring.try_pop(out), 0u);
+  EXPECT_EQ(ring.try_push(std::span<const int>{}), 0u);
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace ctc::sentry

@@ -74,6 +74,15 @@ CLOCK_ALLOWLIST = {
     "bench/perf_hotpath.cpp":
         "kernel micro-bench: wall time IS the measurand (trajectory-gated, "
         "never diffed for determinism)",
+    "src/sentry/source.h":
+        "RateLimitedSource pacing deadline: the clock throttles *when* "
+        "samples are released, never *which* samples — verdict output stays "
+        "clock-free (gated by tools/sentry_determinism.sh)",
+    "src/sentry/source.cpp":
+        "RateLimitedSource sleep_until pacing — same rationale as source.h",
+    "bench/perf_sentry.cpp":
+        "throughput/latency bench: wall time IS the measurand "
+        "(trajectory-gated, never diffed for determinism)",
 }
 TELEM_ALLOWLIST = {
     "src/sim/telemetry.h": "defines the timer machinery",

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Replay-determinism gate for the sentry service: generate a capture with
+# the live traffic generator, then replay it through ctc_sentry twice at
+# shard counts 1 and 4 — all four verdict JSONL streams must be
+# byte-identical. This is the service-level extension of the repo's
+# fixed-seed determinism discipline (see docs/SENTRY.md).
+#
+# usage: sentry_determinism.sh <build_dir> <source_dir>
+set -euo pipefail
+
+build_dir=${1:?usage: sentry_determinism.sh <build_dir> <source_dir>}
+cli="$build_dir/tools/ctc_sentry"
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# One channel's worth of mixed attack/benign air, captured to cf32.
+"$cli" live --frames=10 --attack-every=3 --snr-db=15 --seed=424207 \
+  --capture-out="$work/air.cf32" > "$work/live.jsonl"
+
+run() {
+  local shards=$1 out=$2
+  "$cli" replay --capture="$work/air.cf32" --channels=4 --shards="$shards" \
+    > "$out"
+}
+
+run 1 "$work/replay.s1a.jsonl"
+run 1 "$work/replay.s1b.jsonl"
+run 4 "$work/replay.s4a.jsonl"
+run 4 "$work/replay.s4b.jsonl"
+
+for other in s1b s4a s4b; do
+  if ! cmp -s "$work/replay.s1a.jsonl" "$work/replay.$other.jsonl"; then
+    echo "FAIL: replay verdicts differ between s1a and $other" >&2
+    diff "$work/replay.s1a.jsonl" "$work/replay.$other.jsonl" >&2 || true
+    exit 1
+  fi
+done
+
+verdicts=$(wc -l < "$work/replay.s1a.jsonl")
+if [ "$verdicts" -eq 0 ]; then
+  echo "FAIL: replay produced no verdicts (gate is vacuous)" >&2
+  exit 1
+fi
+
+# Every replay channel saw the same capture: per-channel verdict counts per
+# channel id must match channel 0's.
+for ch in 1 2 3; do
+  c0=$(grep -c '"channel":0,' "$work/replay.s1a.jsonl")
+  cn=$(grep -c "\"channel\":$ch," "$work/replay.s1a.jsonl")
+  if [ "$c0" -ne "$cn" ]; then
+    echo "FAIL: channel $ch verdict count $cn != channel 0 count $c0" >&2
+    exit 1
+  fi
+done
+
+echo "sentry determinism: PASS ($verdicts verdicts, shards 1 and 4, two runs each)"
