@@ -1,0 +1,121 @@
+// Perf — the multi-sensor mesh under load: sensor-field trial throughput
+// as the field grows (4 / 16 / 64 sensors), and the batched SoA channel
+// sweep against its serial per-sensor reference.
+//
+//   $ ./perf_mesh --json | tail -n1 > BENCH_perf_mesh.json
+//
+// Like perf_engine/perf_hotpath this JSON intentionally contains wall
+// times — do not use it in the CI determinism diff. The batched and serial
+// paths must agree bit-for-bit (same engine run index replayed through
+// both); `batched_equals_serial` records that check and IS deterministic,
+// as are the trial/sensor counters.
+// Reported fields:
+//   * sensors                   — field sizes swept;
+//   * batched_sensors_per_sec   — per size, sensor-observations/s through
+//     channel::propagate_batch_multi (one SoA sweep per trial);
+//   * serial_sensors_per_sec    — per size, the per-sensor reference path;
+//   * batch_speedup             — per size, batched rate / serial rate;
+//   * sensors_per_sec           — min batched rate over the sweep (the
+//     trajectory floor);
+//   * batched_equals_serial     — 1 iff every size matched bit-for-bit.
+#include <chrono>
+#include <vector>
+
+#include "bench_common.h"
+#include "mesh/sensor_field.h"
+#include "zigbee/app.h"
+
+using namespace ctc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+mesh::MeshConfig field_config(std::size_t sensors, bool batched) {
+  mesh::MeshConfig config;
+  config.sensors = sensors;
+  config.batched_channel = batched;
+  return config;
+}
+
+bool same_stats(const mesh::MeshStats& a, const mesh::MeshStats& b) {
+  if (a.trials != b.trials || a.sensors_usable != b.sensors_usable ||
+      a.sensor_attacks != b.sensor_attacks ||
+      a.majority_attacks != b.majority_attacks ||
+      a.weighted_attacks != b.weighted_attacks ||
+      a.bayesian_attacks != b.bayesian_attacks ||
+      a.de2_sum != b.de2_sum ||
+      a.position_errors.size() != b.position_errors.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.position_errors.size(); ++i) {
+    if (a.position_errors[i] != b.position_errors[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options options = bench::parse_options(argc, argv);
+  sim::TrialEngine engine = bench::make_engine(
+      options, "Perf: sensor-field mesh (batched vs serial channel sweep)");
+  bench::JsonReport report(options, "perf_mesh");
+
+  const auto frames = zigbee::make_text_workload(8);
+  const std::size_t trials = options.trials_or(24);
+  report.set("trials_per_point", static_cast<std::uint64_t>(trials));
+
+  const std::vector<std::size_t> sweep = {4, 16, 64};
+  std::vector<double> sizes, batched_rate, serial_rate, speedup;
+  bool all_equal = true;
+  double floor_rate = 0.0;
+
+  sim::Table table({"sensors", "batched", "serial", "speedup", "match"});
+  for (const std::size_t sensors : sweep) {
+    const mesh::SensorField batched(field_config(sensors, true));
+    const mesh::SensorField serial(field_config(sensors, false));
+    const double observations = static_cast<double>(trials * sensors);
+
+    // Replay the SAME engine run index through both paths: the serial
+    // sweep is the bit-exact reference for the batched one.
+    const std::uint64_t run_index = engine.next_run_index();
+    const auto batched_start = Clock::now();
+    const mesh::MeshStats batched_stats =
+        run_mesh_trials(batched, frames, trials, engine);
+    const double batched_s =
+        std::chrono::duration<double>(Clock::now() - batched_start).count();
+    engine.seek_run(run_index);
+    const auto serial_start = Clock::now();
+    const mesh::MeshStats serial_stats =
+        run_mesh_trials(serial, frames, trials, engine);
+    const double serial_s =
+        std::chrono::duration<double>(Clock::now() - serial_start).count();
+
+    const bool equal = same_stats(batched_stats, serial_stats);
+    all_equal = all_equal && equal;
+    const double brate = observations / batched_s;
+    const double srate = observations / serial_s;
+    sizes.push_back(static_cast<double>(sensors));
+    batched_rate.push_back(brate);
+    serial_rate.push_back(srate);
+    speedup.push_back(brate / srate);
+    if (floor_rate == 0.0 || brate < floor_rate) floor_rate = brate;
+    table.add_row({sim::Table::num(static_cast<double>(sensors), 0),
+                   sim::Table::num(brate, 0) + " obs/s",
+                   sim::Table::num(srate, 0) + " obs/s",
+                   sim::Table::num(brate / srate, 2) + "x",
+                   equal ? "bit-exact" : "MISMATCH"});
+  }
+  table.print();
+
+  report.set("sensors", sizes);
+  report.set("batched_sensors_per_sec", batched_rate);
+  report.set("serial_sensors_per_sec", serial_rate);
+  report.set("batch_speedup", speedup);
+  report.set("sensors_per_sec", floor_rate);
+  report.set("batched_equals_serial",
+             static_cast<std::uint64_t>(all_equal ? 1 : 0));
+  bench::finish(report, options);
+  return all_equal ? 0 : 1;
+}

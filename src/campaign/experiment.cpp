@@ -5,6 +5,7 @@
 
 #include "channel/environment.h"
 #include "defense/detector.h"
+#include "mesh/sensor_field.h"
 #include "sim/defense_run.h"
 #include "sim/link.h"
 #include "sim/metrics.h"
@@ -287,10 +288,232 @@ class ThresholdSweepExperiment final : public Experiment {
   }
 };
 
+// -- mesh experiments -------------------------------------------------------
+//
+// Shared cell -> MeshConfig mapping for the sensor-field experiments. The
+// optional spec "mesh" object sets the field layout and channel defaults;
+// grid axes (sensors / snr_offset_db / shadow_sigma_db) override per cell.
+mesh::MeshConfig mesh_config_for(const CampaignSpec& spec,
+                                 const WorkUnit& unit) {
+  const CampaignSpec::MeshSettings defaults;
+  const CampaignSpec::MeshSettings& settings =
+      spec.mesh ? *spec.mesh : defaults;
+  mesh::MeshConfig config;
+  config.sensors = static_cast<std::size_t>(unit.cell.uint_or("sensors", 9));
+  config.geometry = mesh::parse_geometry(settings.geometry);
+  config.extent_m = settings.extent_m;
+  config.attacker = mesh::Vec2{settings.attacker_x, settings.attacker_y};
+  config.snr_offset_db =
+      unit.cell.number_or("snr_offset_db", settings.snr_offset_db);
+  config.shadow_sigma_db =
+      unit.cell.number_or("shadow_sigma_db", settings.shadow_sigma_db);
+  config.kind = unit.role == "attack" ? sim::LinkKind::emulated
+                                      : sim::LinkKind::authentic;
+  if (spec.alpha) config.emulator.alpha = *spec.alpha;
+  if (spec.threshold) config.detector.threshold = *spec.threshold;
+  return config;
+}
+
+mesh::MeshStats run_mesh_unit(const CampaignSpec& spec, const WorkUnit& unit,
+                              sim::TrialEngine& engine) {
+  const mesh::SensorField field(mesh_config_for(spec, unit));
+  const auto frames =
+      zigbee::make_text_workload(static_cast<unsigned>(spec.workload_frames));
+  return mesh::run_mesh_trials(field, frames, unit.trials, engine);
+}
+
+// The mesh/sensor-field sweep as data: per grid cell, one emulated-attack
+// unit and one authentic (benign) unit, so the report carries both the
+// detection rate and the false-alarm rate of every fusion rule.
+class FusionDetectionExperiment final : public Experiment {
+ public:
+  std::string_view name() const override { return "fusion_detection"; }
+
+  void check_spec(const CampaignSpec& spec) const override {
+    require_axes(spec, {"sensors", "snr_offset_db", "shadow_sigma_db",
+                        "trials"});
+  }
+
+  std::size_t num_stages(const CampaignSpec&) const override { return 1; }
+
+  std::vector<WorkUnit> plan_stage(const CampaignSpec& spec,
+                                   std::size_t stage) const override {
+    std::vector<WorkUnit> units;
+    if (stage != 0) return units;
+    std::size_t index = 0;
+    for (const CampaignSpec::Cell& cell : spec.cells()) {
+      for (const char* role : {"attack", "benign"}) {
+        WorkUnit unit;
+        unit.index = index;
+        unit.stage = 0;
+        unit.run_index = index;
+        unit.role = role;
+        unit.cell = cell;
+        const std::uint64_t fallback =
+            unit.role == "attack" ? spec.trials : spec.authentic_trials;
+        unit.trials = static_cast<std::size_t>(cell.uint_or("trials", fallback));
+        unit.id = unit_id(index, role, cell);
+        units.push_back(std::move(unit));
+        ++index;
+      }
+    }
+    return units;
+  }
+
+  Json run_unit(const CampaignSpec& spec, const WorkUnit& unit, const Json&,
+                sim::TrialEngine& engine) const override {
+    const mesh::MeshStats stats = run_mesh_unit(spec, unit, engine);
+    Json result = Json::object();
+    result.set("trials", Json(stats.trials));
+    result.set("usable_fraction", Json(stats.usable_fraction()));
+    result.set("single_sensor_rate", Json(stats.single_sensor_rate()));
+    result.set("majority_rate", Json(stats.majority_rate()));
+    result.set("weighted_rate", Json(stats.weighted_rate()));
+    result.set("bayesian_rate", Json(stats.bayesian_rate()));
+    result.set("mean_de2", Json(stats.mean_de2()));
+    return result;
+  }
+
+  Json final_report(const CampaignSpec& spec,
+                    const std::vector<std::vector<const Json*>>& results_by_stage,
+                    const Json&) const override {
+    const std::vector<const Json*>& units = results_by_stage.at(0);
+    Json sensors = Json::array();
+    Json offsets = Json::array();
+    Json shadows = Json::array();
+    Json single_det = Json::array(), single_fa = Json::array();
+    Json majority_det = Json::array(), majority_fa = Json::array();
+    Json weighted_det = Json::array(), weighted_fa = Json::array();
+    Json bayesian_det = Json::array(), bayesian_fa = Json::array();
+    const CampaignSpec::MeshSettings defaults;
+    const CampaignSpec::MeshSettings& settings =
+        spec.mesh ? *spec.mesh : defaults;
+    const auto cells = spec.cells();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Json& attack = *units.at(2 * i);
+      const Json& benign = *units.at(2 * i + 1);
+      sensors.push_back(Json(cells[i].uint_or("sensors", 9)));
+      offsets.push_back(
+          Json(cells[i].number_or("snr_offset_db", settings.snr_offset_db)));
+      shadows.push_back(Json(
+          cells[i].number_or("shadow_sigma_db", settings.shadow_sigma_db)));
+      single_det.push_back(Json(attack.at("single_sensor_rate").as_number()));
+      single_fa.push_back(Json(benign.at("single_sensor_rate").as_number()));
+      majority_det.push_back(Json(attack.at("majority_rate").as_number()));
+      majority_fa.push_back(Json(benign.at("majority_rate").as_number()));
+      weighted_det.push_back(Json(attack.at("weighted_rate").as_number()));
+      weighted_fa.push_back(Json(benign.at("weighted_rate").as_number()));
+      bayesian_det.push_back(Json(attack.at("bayesian_rate").as_number()));
+      bayesian_fa.push_back(Json(benign.at("bayesian_rate").as_number()));
+    }
+    Json report = Json::object();
+    report.set("bench", Json(spec.name));
+    report.set("seed", Json(spec.seed));
+    report.set("sensors", std::move(sensors));
+    report.set("snr_offset_db", std::move(offsets));
+    report.set("shadow_sigma_db", std::move(shadows));
+    report.set("single_sensor_detection", std::move(single_det));
+    report.set("single_sensor_false_alarm", std::move(single_fa));
+    report.set("majority_detection", std::move(majority_det));
+    report.set("majority_false_alarm", std::move(majority_fa));
+    report.set("weighted_detection", std::move(weighted_det));
+    report.set("weighted_false_alarm", std::move(weighted_fa));
+    report.set("bayesian_detection", std::move(bayesian_det));
+    report.set("bayesian_false_alarm", std::move(bayesian_fa));
+    return report;
+  }
+};
+
+// Localization accuracy vs field size and shadowing: one emulated-attack
+// unit per cell; the report carries RMSE / CEP50 of the least-squares RSSI
+// fix against the true attacker position.
+class LocalizationErrorExperiment final : public Experiment {
+ public:
+  std::string_view name() const override { return "localization_error"; }
+
+  void check_spec(const CampaignSpec& spec) const override {
+    require_axes(spec, {"sensors", "shadow_sigma_db", "trials"});
+  }
+
+  std::size_t num_stages(const CampaignSpec&) const override { return 1; }
+
+  std::vector<WorkUnit> plan_stage(const CampaignSpec& spec,
+                                   std::size_t stage) const override {
+    std::vector<WorkUnit> units;
+    if (stage != 0) return units;
+    std::size_t index = 0;
+    for (const CampaignSpec::Cell& cell : spec.cells()) {
+      WorkUnit unit;
+      unit.index = index;
+      unit.stage = 0;
+      unit.run_index = index;
+      unit.role = "attack";
+      unit.cell = cell;
+      unit.trials = static_cast<std::size_t>(cell.uint_or("trials", spec.trials));
+      unit.id = unit_id(index, unit.role, cell);
+      units.push_back(std::move(unit));
+      ++index;
+    }
+    return units;
+  }
+
+  Json run_unit(const CampaignSpec& spec, const WorkUnit& unit, const Json&,
+                sim::TrialEngine& engine) const override {
+    const mesh::MeshStats stats = run_mesh_unit(spec, unit, engine);
+    Json result = Json::object();
+    result.set("trials", Json(stats.trials));
+    result.set("rmse_m", Json(stats.rmse_m()));
+    result.set("cep50_m", Json(stats.cep50_m()));
+    result.set("converged_fraction",
+               Json(stats.trials > 0
+                        ? static_cast<double>(stats.localization_converged) /
+                              static_cast<double>(stats.trials)
+                        : 0.0));
+    return result;
+  }
+
+  Json final_report(const CampaignSpec& spec,
+                    const std::vector<std::vector<const Json*>>& results_by_stage,
+                    const Json&) const override {
+    const std::vector<const Json*>& units = results_by_stage.at(0);
+    Json sensors = Json::array();
+    Json shadows = Json::array();
+    Json rmse = Json::array();
+    Json cep50 = Json::array();
+    Json converged = Json::array();
+    const CampaignSpec::MeshSettings defaults;
+    const CampaignSpec::MeshSettings& settings =
+        spec.mesh ? *spec.mesh : defaults;
+    const auto cells = spec.cells();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Json& unit = *units.at(i);
+      sensors.push_back(Json(cells[i].uint_or("sensors", 9)));
+      shadows.push_back(Json(
+          cells[i].number_or("shadow_sigma_db", settings.shadow_sigma_db)));
+      rmse.push_back(Json(unit.at("rmse_m").as_number()));
+      cep50.push_back(Json(unit.at("cep50_m").as_number()));
+      converged.push_back(Json(unit.at("converged_fraction").as_number()));
+    }
+    Json report = Json::object();
+    report.set("bench", Json(spec.name));
+    report.set("seed", Json(spec.seed));
+    report.set("sensors", std::move(sensors));
+    report.set("shadow_sigma_db", std::move(shadows));
+    report.set("rmse_m", std::move(rmse));
+    report.set("cep50_m", std::move(cep50));
+    report.set("converged_fraction", std::move(converged));
+    return report;
+  }
+};
+
 const AttackSuccessExperiment g_attack_success;
 const ThresholdSweepExperiment g_threshold_sweep;
+const FusionDetectionExperiment g_fusion_detection;
+const LocalizationErrorExperiment g_localization_error;
 const Experiment* const g_experiments[] = {&g_attack_success,
-                                           &g_threshold_sweep};
+                                           &g_threshold_sweep,
+                                           &g_fusion_detection,
+                                           &g_localization_error};
 
 }  // namespace
 

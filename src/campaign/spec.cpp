@@ -76,6 +76,45 @@ std::vector<Json> expand_range(const Json& range) {
   return values;
 }
 
+double parse_number(const Json& value, const char* key) {
+  if (!value.is_number()) fail(std::string(key) + " must be a number");
+  return value.as_number();
+}
+
+CampaignSpec::MeshSettings parse_mesh(const Json& object) {
+  if (!object.is_object()) fail("\"mesh\" must be an object");
+  check_known_keys(object, "mesh settings",
+                   {"geometry", "extent_m", "attacker_x", "attacker_y",
+                    "shadow_sigma_db", "snr_offset_db"});
+  CampaignSpec::MeshSettings mesh;
+  if (const Json* v = object.find("geometry")) {
+    if (!v->is_string() ||
+        (v->as_string() != "grid" && v->as_string() != "ring")) {
+      fail("mesh geometry must be \"grid\" or \"ring\"");
+    }
+    mesh.geometry = v->as_string();
+  }
+  if (const Json* v = object.find("extent_m")) {
+    mesh.extent_m = parse_positive(*v, "mesh extent_m");
+  }
+  if (const Json* v = object.find("attacker_x")) {
+    mesh.attacker_x = parse_number(*v, "mesh attacker_x");
+  }
+  if (const Json* v = object.find("attacker_y")) {
+    mesh.attacker_y = parse_number(*v, "mesh attacker_y");
+  }
+  if (const Json* v = object.find("shadow_sigma_db")) {
+    mesh.shadow_sigma_db = parse_number(*v, "mesh shadow_sigma_db");
+    if (mesh.shadow_sigma_db < 0.0) {
+      fail("mesh shadow_sigma_db must be non-negative");
+    }
+  }
+  if (const Json* v = object.find("snr_offset_db")) {
+    mesh.snr_offset_db = parse_number(*v, "mesh snr_offset_db");
+  }
+  return mesh;
+}
+
 GridAxis parse_axis(const Json& entry) {
   if (!entry.is_object()) fail("grid entries must be objects");
   check_known_keys(entry, "grid entry", {"axis", "list", "range"});
@@ -175,7 +214,7 @@ CampaignSpec CampaignSpec::from_json(const Json& json) {
   check_known_keys(json, "campaign spec",
                    {"schema", "name", "experiment", "seed", "workload_frames",
                     "trials", "authentic_trials", "train_trials", "test_trials",
-                    "threshold", "alpha", "grid"});
+                    "threshold", "alpha", "mesh", "grid"});
 
   CampaignSpec spec;
   const Json* name = json.find("name");
@@ -215,6 +254,9 @@ CampaignSpec CampaignSpec::from_json(const Json& json) {
   if (const Json* v = json.find("alpha")) {
     spec.alpha = parse_positive(*v, "alpha");
   }
+  if (const Json* v = json.find("mesh")) {
+    spec.mesh = parse_mesh(*v);
+  }
 
   if (const Json* grid = json.find("grid")) {
     if (!grid->is_array()) fail("\"grid\" must be an array of axis objects");
@@ -248,6 +290,16 @@ Json CampaignSpec::to_json() const {
   out.set("test_trials", Json(test_trials));
   if (threshold) out.set("threshold", Json(*threshold));
   if (alpha) out.set("alpha", Json(*alpha));
+  if (mesh) {
+    Json mesh_json = Json::object();
+    mesh_json.set("geometry", Json(mesh->geometry));
+    mesh_json.set("extent_m", Json(mesh->extent_m));
+    mesh_json.set("attacker_x", Json(mesh->attacker_x));
+    mesh_json.set("attacker_y", Json(mesh->attacker_y));
+    mesh_json.set("shadow_sigma_db", Json(mesh->shadow_sigma_db));
+    mesh_json.set("snr_offset_db", Json(mesh->snr_offset_db));
+    out.set("mesh", std::move(mesh_json));
+  }
   Json grid_json = Json::array();
   for (const GridAxis& axis : grid) {
     Json entry = Json::object();

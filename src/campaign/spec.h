@@ -57,6 +57,21 @@ struct CampaignSpec {
   /// attack emulator: fixed QAM scale alpha. Unset = the emulator default.
   std::optional<double> alpha;
 
+  /// Sensor-field settings for the mesh experiments (`fusion_detection`,
+  /// `localization_error`). Optional "mesh" object in the spec; strict
+  /// like everything else (unknown keys are hard errors). Grid axes
+  /// (`sensors`, `snr_offset_db`, `shadow_sigma_db`) override the
+  /// corresponding field per cell.
+  struct MeshSettings {
+    std::string geometry = "grid";  ///< "grid" or "ring"
+    double extent_m = 8.0;          ///< grid span / ring radius (m)
+    double attacker_x = 1.9;        ///< true emitter position (m)
+    double attacker_y = 1.1;
+    double shadow_sigma_db = 1.0;   ///< RSSI shadowing std dev
+    double snr_offset_db = 0.0;     ///< link-budget shift on top of path loss
+  };
+  std::optional<MeshSettings> mesh;
+
   std::vector<GridAxis> grid;  ///< empty = a single unparameterized cell
 
   /// One grid cell: the cross product element in row-major order (first

@@ -80,4 +80,17 @@ struct Environment {
                                 double sample_rate_hz = 4.0e6);
 };
 
+/// Batched (SoA) channel with a DISTINCT environment per row: row r of `out`
+/// is bit-for-bit envs[r].propagate(signal, rngs[r]). This is the multi-
+/// sensor sweep Environment::propagate_batch cannot express (it applies ONE
+/// environment — one noise variance, one CFO — to every row); a mesh of M
+/// sensors at different distances needs per-row path loss, fading and noise.
+/// Stages still run stage-major across rows, but each row consumes only its
+/// own RNG stream in the serial draw order (fade -> phase -> noise), so the
+/// result is independent of the batch partition. Requires
+/// envs.size() == rngs.size(); `out` is reshaped to rows x signal.size().
+void propagate_batch_multi(dsp::BatchBuffer& out, std::span<const cplx> signal,
+                           std::span<const Environment> envs,
+                           std::span<dsp::Rng> rngs);
+
 }  // namespace ctc::channel

@@ -6,14 +6,27 @@
 
 namespace ctc::channel {
 
-double PathLossModel::snr_db(double meters) const {
+double log_distance_db(double value_at_1m_db, double exponent, double meters) {
   CTC_REQUIRE(meters > 0.0);
-  return snr_at_1m_db - 10.0 * exponent * std::log10(meters);
+  return value_at_1m_db - 10.0 * exponent * std::log10(meters);
+}
+
+double log_distance_inverse_m(double value_at_1m_db, double exponent,
+                              double value_db) {
+  CTC_REQUIRE(exponent != 0.0);
+  return std::pow(10.0, (value_at_1m_db - value_db) / (10.0 * exponent));
+}
+
+double PathLossModel::snr_db(double meters) const {
+  return log_distance_db(snr_at_1m_db, exponent, meters);
 }
 
 double PathLossModel::rssi_dbm(double meters) const {
-  CTC_REQUIRE(meters > 0.0);
-  return rssi_at_1m_dbm - 10.0 * exponent * std::log10(meters);
+  return log_distance_db(rssi_at_1m_dbm, exponent, meters);
+}
+
+double PathLossModel::distance_for_rssi(double rssi_dbm) const {
+  return log_distance_inverse_m(rssi_at_1m_dbm, exponent, rssi_dbm);
 }
 
 }  // namespace ctc::channel

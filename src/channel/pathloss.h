@@ -10,6 +10,19 @@
 
 namespace ctc::channel {
 
+/// Log-distance forward model: `value_at_1m_db - 10 n log10(meters)`.
+/// The shared helper behind SNR and RSSI prediction AND the localization
+/// inversion (mesh::localize), so the two can never drift apart.
+/// Requires meters > 0.
+double log_distance_db(double value_at_1m_db, double exponent, double meters);
+
+/// Inverts log_distance_db() in its distance argument: the distance (m) at
+/// which the forward model yields `value_db`. Requires exponent != 0.
+/// Round trip: log_distance_inverse_m(v1m, n, log_distance_db(v1m, n, d))
+/// == d up to floating-point tolerance.
+double log_distance_inverse_m(double value_at_1m_db, double exponent,
+                              double value_db);
+
 struct PathLossModel {
   /// Link SNR at the 1 m reference. A ZigBee RSSI of ~-45 dBm at 1 m over a
   /// -110 dBm noise floor (2 MHz) leaves plenty of headroom; 48 dB places
@@ -27,6 +40,10 @@ struct PathLossModel {
 
   /// RSSI in dBm at distance `meters` (> 0).
   double rssi_dbm(double meters) const;
+
+  /// The distance (m) at which this model predicts `rssi_dbm` — the
+  /// log-distance inversion RSSI localization solves per sensor.
+  double distance_for_rssi(double rssi_dbm) const;
 };
 
 }  // namespace ctc::channel

@@ -71,6 +71,19 @@ class Rng {
   /// (tests, ad-hoc tools) should therefore use its own seed, or fork()
   /// from an engine-provided generator, rather than hand-picking stream
   /// ids that an engine sharing the seed would also hand out.
+  ///
+  /// Sub-stream schemes layered on top of the engine scheme:
+  ///   * sentry channels:  `for_stream(capture_seed, c)` for channel `c` —
+  ///     safe because the sentry's capture seed is its own, never an
+  ///     engine seed;
+  ///   * mesh sensors:     each trial first draws
+  ///     `sensor_seed = trial_rng.next_u64()` from its engine-provided
+  ///     stream, then sensor `s` uses `for_stream(sensor_seed, s)`
+  ///     (see mesh::SensorField). Because the per-sensor SEED is itself a
+  ///     trial-unique draw — not the campaign seed — sensor ids can never
+  ///     collide with engine run/trial ids or sentry channel ids, and the
+  ///     whole sensor fan-out stays a pure function of
+  ///     (seed, run_index, trial_index, sensor_id).
   static Rng for_stream(std::uint64_t seed, std::uint64_t stream_id);
 
   /// Advances this generator by 2^128 steps (the xoshiro256++ jump

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "channel/pathloss.h"
+#include "dsp/require.h"
+
+namespace ctc::channel {
+namespace {
+
+TEST(LogDistanceTest, ReferencePointIsExact) {
+  EXPECT_DOUBLE_EQ(log_distance_db(48.5, 5.0, 1.0), 48.5);
+  EXPECT_DOUBLE_EQ(log_distance_db(-45.0, 5.0, 1.0), -45.0);
+}
+
+TEST(LogDistanceTest, TenfoldDistanceCostsTenNdB) {
+  EXPECT_NEAR(log_distance_db(48.5, 5.0, 10.0), 48.5 - 50.0, 1e-12);
+  EXPECT_NEAR(log_distance_db(0.0, 2.0, 100.0), -40.0, 1e-12);
+}
+
+TEST(LogDistanceTest, ForwardInverseRoundTrip) {
+  for (double meters : {0.01, 0.5, 1.0, 3.7, 8.0, 120.0}) {
+    const double value = log_distance_db(48.5, 5.0, meters);
+    EXPECT_NEAR(log_distance_inverse_m(48.5, 5.0, value), meters,
+                1e-9 * meters);
+  }
+  // And the other direction: value -> distance -> value.
+  for (double value : {-90.0, -45.0, 0.0, 20.0}) {
+    const double meters = log_distance_inverse_m(-45.0, 5.0, value);
+    EXPECT_NEAR(log_distance_db(-45.0, 5.0, meters), value, 1e-9);
+  }
+}
+
+TEST(LogDistanceTest, RejectsDegenerateArguments) {
+  EXPECT_THROW(log_distance_db(0.0, 5.0, 0.0), ContractError);
+  EXPECT_THROW(log_distance_db(0.0, 5.0, -1.0), ContractError);
+  EXPECT_THROW(log_distance_inverse_m(0.0, 0.0, -10.0), ContractError);
+}
+
+TEST(PathLossModelTest, SnrAndRssiShareTheLogDistanceHelper) {
+  const PathLossModel model;
+  for (double meters : {1.0, 2.0, 4.0, 8.0}) {
+    EXPECT_DOUBLE_EQ(model.snr_db(meters),
+                     log_distance_db(model.snr_at_1m_db, model.exponent,
+                                     meters));
+    EXPECT_DOUBLE_EQ(model.rssi_dbm(meters),
+                     log_distance_db(model.rssi_at_1m_dbm, model.exponent,
+                                     meters));
+  }
+}
+
+TEST(PathLossModelTest, DistanceForRssiInvertsTheForwardModel) {
+  const PathLossModel model;
+  for (double meters : {0.25, 1.0, 3.3, 8.0}) {
+    EXPECT_NEAR(model.distance_for_rssi(model.rssi_dbm(meters)), meters,
+                1e-9 * meters);
+  }
+}
+
+}  // namespace
+}  // namespace ctc::channel

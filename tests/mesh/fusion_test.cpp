@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dsp/require.h"
+#include "dsp/types.h"
+#include "mesh/fusion.h"
+
+namespace ctc::mesh {
+namespace {
+
+SensorVote vote(bool usable, bool is_attack, double de2, double weight) {
+  return SensorVote{usable, is_attack, de2, weight};
+}
+
+// Hand oracle for the clamped Gaussian log-pdf the Bayesian rule sums.
+double log_pdf(double x, double mu, double var) {
+  const double v = std::max(var, kBayesVarianceFloor);
+  return -0.5 * std::log(kTwoPi * v) - (x - mu) * (x - mu) / (2.0 * v);
+}
+
+TEST(FuseMajorityTest, CountsOnlyUsableSensors) {
+  const std::vector<SensorVote> votes = {
+      vote(true, true, 0.6, 1.0), vote(true, false, 0.1, 1.0),
+      vote(false, true, 9.9, 1.0),  // unusable: must be ignored
+      vote(true, false, 0.2, 1.0),
+  };
+  const FusionResult result = fuse_majority(votes);
+  EXPECT_EQ(result.used, 3u);
+  EXPECT_DOUBLE_EQ(result.score, 1.0 / 3.0);
+  EXPECT_FALSE(result.is_attack);  // 2*1 < 3
+}
+
+TEST(FuseMajorityTest, ExactTieAlarms) {
+  const std::vector<SensorVote> votes = {
+      vote(true, true, 0.6, 1.0), vote(true, false, 0.1, 1.0),
+      vote(true, true, 0.7, 1.0), vote(true, false, 0.0, 1.0),
+  };
+  const FusionResult result = fuse_majority(votes);
+  EXPECT_EQ(result.used, 4u);
+  EXPECT_DOUBLE_EQ(result.score, 0.5);
+  EXPECT_TRUE(result.is_attack);  // ties are detection-biased
+}
+
+TEST(FuseMajorityTest, NoUsableSensorsAbstains) {
+  const std::vector<SensorVote> votes = {vote(false, true, 1.0, 1.0)};
+  const FusionResult result = fuse_majority(votes);
+  EXPECT_EQ(result.used, 0u);
+  EXPECT_DOUBLE_EQ(result.score, 0.0);
+  EXPECT_FALSE(result.is_attack);
+}
+
+TEST(FuseRssiWeightedTest, WeightedMeanAgainstThresholdByHand) {
+  // (0.8*3 + 0.2*1) / 4 = 0.65.
+  const std::vector<SensorVote> votes = {
+      vote(true, true, 0.8, 3.0),
+      vote(true, false, 0.2, 1.0),
+      vote(false, false, 5.0, 100.0),  // unusable: ignored
+  };
+  const FusionResult above = fuse_rssi_weighted(votes, 0.5);
+  EXPECT_EQ(above.used, 2u);
+  EXPECT_DOUBLE_EQ(above.score, 0.65);
+  EXPECT_TRUE(above.is_attack);
+  const FusionResult below = fuse_rssi_weighted(votes, 0.66);
+  EXPECT_DOUBLE_EQ(below.score, 0.65);
+  EXPECT_FALSE(below.is_attack);
+}
+
+TEST(FuseRssiWeightedTest, AllZeroWeightsFallBackToUnweightedMean) {
+  const std::vector<SensorVote> votes = {
+      vote(true, true, 0.9, 0.0),
+      vote(true, false, 0.1, 0.0),
+  };
+  const FusionResult result = fuse_rssi_weighted(votes, 0.5);
+  EXPECT_EQ(result.used, 2u);
+  EXPECT_DOUBLE_EQ(result.score, 0.5);  // (0.9 + 0.1) / 2
+  EXPECT_TRUE(result.is_attack);        // >= threshold
+}
+
+TEST(FuseRssiWeightedTest, RejectsNegativeWeights) {
+  const std::vector<SensorVote> votes = {vote(true, true, 0.5, -1.0)};
+  EXPECT_THROW(fuse_rssi_weighted(votes, 0.5), ContractError);
+}
+
+TEST(FuseBayesianTest, SingleSharedModelSumsPerSensorLlrs) {
+  const GaussianPair model;  // defaults: H0(0.05, 0.01), H1(0.5, 0.05)
+  const std::vector<SensorVote> votes = {
+      vote(true, true, 0.45, 1.0),
+      vote(true, false, 0.07, 1.0),
+      vote(false, false, 0.0, 1.0),  // unusable: ignored
+  };
+  const double expected =
+      (log_pdf(0.45, model.mu_h1, model.var_h1) -
+       log_pdf(0.45, model.mu_h0, model.var_h0)) +
+      (log_pdf(0.07, model.mu_h1, model.var_h1) -
+       log_pdf(0.07, model.mu_h0, model.var_h0));
+  const FusionResult result =
+      fuse_bayesian(votes, std::span<const GaussianPair>(&model, 1));
+  EXPECT_EQ(result.used, 2u);
+  EXPECT_DOUBLE_EQ(result.score, expected);
+  EXPECT_EQ(result.is_attack, expected >= 0.0);
+  EXPECT_DOUBLE_EQ(gaussian_llr(0.45, model),
+                   log_pdf(0.45, model.mu_h1, model.var_h1) -
+                       log_pdf(0.45, model.mu_h0, model.var_h0));
+}
+
+TEST(FuseBayesianTest, ZeroVarianceModelClampsToTheFloor) {
+  // A degenerate training model (zero variance) must produce the clamped,
+  // finite LLR — hand-computed against the documented floor.
+  GaussianPair degenerate;
+  degenerate.mu_h1 = 0.5;
+  degenerate.var_h1 = 0.0;
+  const double llr = gaussian_llr(0.5, degenerate);
+  const double expected = log_pdf(0.5, 0.5, kBayesVarianceFloor) -
+                          log_pdf(0.5, degenerate.mu_h0, degenerate.var_h0);
+  EXPECT_TRUE(std::isfinite(llr));
+  EXPECT_DOUBLE_EQ(llr, expected);
+
+  const std::vector<SensorVote> votes = {vote(true, true, 0.5, 1.0)};
+  const FusionResult result =
+      fuse_bayesian(votes, std::span<const GaussianPair>(&degenerate, 1));
+  EXPECT_DOUBLE_EQ(result.score, expected);
+  EXPECT_TRUE(result.is_attack);  // de2 dead on mu_h1: certain attack
+}
+
+TEST(FuseBayesianTest, PerSensorModelsMustMatchVoteCount) {
+  const std::vector<SensorVote> votes = {vote(true, true, 0.5, 1.0),
+                                         vote(true, false, 0.1, 1.0)};
+  const std::vector<GaussianPair> two_models(2);
+  EXPECT_EQ(fuse_bayesian(votes, two_models).used, 2u);
+  const std::vector<GaussianPair> three_models(3);
+  EXPECT_THROW(fuse_bayesian(votes, three_models), ContractError);
+}
+
+}  // namespace
+}  // namespace ctc::mesh

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "channel/pathloss.h"
+#include "dsp/require.h"
+#include "dsp/rng.h"
+#include "mesh/geometry.h"
+#include "mesh/localize.h"
+
+namespace ctc::mesh {
+namespace {
+
+std::vector<RssiSample> exact_samples(const std::vector<Vec2>& sensors,
+                                      const Vec2& emitter,
+                                      const channel::PathLossModel& model) {
+  std::vector<RssiSample> samples;
+  for (const Vec2& sensor : sensors) {
+    samples.push_back({sensor, model.rssi_dbm(distance(sensor, emitter))});
+  }
+  return samples;
+}
+
+TEST(LocalizeTest, NoiselessMeasurementsRecoverTheEmitterExactly) {
+  const channel::PathLossModel model;
+  const Vec2 emitter{1.9, 1.1};
+  LocalizeConfig config;
+  config.path_loss = model;
+  for (std::size_t count : {4u, 9u, 16u}) {
+    const auto samples =
+        exact_samples(grid_layout(count, 8.0), emitter, model);
+    const LocalizationResult result = localize_rssi(samples, config);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.position.x, emitter.x, 1e-6);
+    EXPECT_NEAR(result.position.y, emitter.y, 1e-6);
+    EXPECT_NEAR(result.residual_rms_m, 0.0, 1e-6);
+  }
+}
+
+TEST(LocalizeTest, RingGeometryWorksToo) {
+  const channel::PathLossModel model;
+  const Vec2 emitter{0.7, -0.4};
+  LocalizeConfig config;
+  config.path_loss = model;
+  const auto samples = exact_samples(ring_layout(6, 4.0), emitter, model);
+  const LocalizationResult result = localize_rssi(samples, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.position.x, emitter.x, 1e-6);
+  EXPECT_NEAR(result.position.y, emitter.y, 1e-6);
+}
+
+TEST(LocalizeTest, NoisyRangesStillLandNearTheEmitter) {
+  const channel::PathLossModel model;
+  const Vec2 emitter{1.9, 1.1};
+  LocalizeConfig config;
+  config.path_loss = model;
+  dsp::Rng rng(404);
+  auto samples = exact_samples(grid_layout(16, 8.0), emitter, model);
+  for (RssiSample& sample : samples) sample.rssi_dbm += rng.gaussian();
+  const LocalizationResult result = localize_rssi(samples, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(distance(result.position, emitter), 1.0);
+  EXPECT_GT(result.residual_rms_m, 0.0);
+}
+
+TEST(LocalizeTest, DeterministicAcrossCalls) {
+  const channel::PathLossModel model;
+  LocalizeConfig config;
+  config.path_loss = model;
+  const auto samples =
+      exact_samples(grid_layout(9, 8.0), Vec2{2.5, -1.0}, model);
+  const LocalizationResult a = localize_rssi(samples, config);
+  const LocalizationResult b = localize_rssi(samples, config);
+  EXPECT_EQ(a.position.x, b.position.x);
+  EXPECT_EQ(a.position.y, b.position.y);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.residual_rms_m, b.residual_rms_m);
+}
+
+TEST(LocalizeTest, RequiresAtLeastThreeSamples) {
+  const channel::PathLossModel model;
+  LocalizeConfig config;
+  config.path_loss = model;
+  const auto samples =
+      exact_samples(grid_layout(4, 8.0), Vec2{1.0, 1.0}, model);
+  const std::vector<RssiSample> two(samples.begin(), samples.begin() + 2);
+  EXPECT_THROW(localize_rssi(two, config), ContractError);
+}
+
+}  // namespace
+}  // namespace ctc::mesh

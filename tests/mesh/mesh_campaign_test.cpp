@@ -1,0 +1,191 @@
+// Campaign-layer coverage of the mesh experiments: the optional "mesh"
+// spec object, the fusion_detection / localization_error planners, and the
+// executor determinism contract (threads and shard partitions reproduce
+// the sequential report byte-for-byte).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "campaign/executor.h"
+#include "campaign/plan.h"
+#include "campaign/spec.h"
+
+namespace ctc::campaign {
+namespace {
+
+std::string tiny_fusion_spec_text() {
+  return R"({"schema":1,"name":"tinymesh","experiment":"fusion_detection",)"
+         R"("workload_frames":4,"trials":2,"authentic_trials":2,)"
+         R"("mesh":{"geometry":"grid","extent_m":8.0,"attacker_x":1.9,)"
+         R"("attacker_y":1.1,"shadow_sigma_db":1.0,"snr_offset_db":0.0},)"
+         R"("grid":[{"axis":"sensors","list":[4]}]})";
+}
+
+std::string tiny_localization_spec_text() {
+  return R"({"schema":1,"name":"tinyloc","experiment":"localization_error",)"
+         R"("workload_frames":4,"trials":2,)"
+         R"("grid":[{"axis":"sensors","list":[4,9]}]})";
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / ("mesh_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(MeshSpecTest, ParsesMeshSettings) {
+  const CampaignSpec spec = CampaignSpec::parse(
+      R"({"schema":1,"name":"m","experiment":"fusion_detection",)"
+      R"("mesh":{"geometry":"ring","extent_m":3.5,"attacker_x":-0.5,)"
+      R"("attacker_y":2.0,"shadow_sigma_db":0.25,"snr_offset_db":-6.0}})");
+  ASSERT_TRUE(spec.mesh.has_value());
+  EXPECT_EQ(spec.mesh->geometry, "ring");
+  EXPECT_DOUBLE_EQ(spec.mesh->extent_m, 3.5);
+  EXPECT_DOUBLE_EQ(spec.mesh->attacker_x, -0.5);
+  EXPECT_DOUBLE_EQ(spec.mesh->attacker_y, 2.0);
+  EXPECT_DOUBLE_EQ(spec.mesh->shadow_sigma_db, 0.25);
+  EXPECT_DOUBLE_EQ(spec.mesh->snr_offset_db, -6.0);
+}
+
+TEST(MeshSpecTest, MeshIsOptionalAndDefaultsApply) {
+  const CampaignSpec spec = CampaignSpec::parse(
+      R"({"schema":1,"name":"m","experiment":"fusion_detection"})");
+  EXPECT_FALSE(spec.mesh.has_value());
+  // Partial mesh object: unset keys keep their defaults.
+  const CampaignSpec partial = CampaignSpec::parse(
+      R"({"schema":1,"name":"m","experiment":"fusion_detection",)"
+      R"("mesh":{"extent_m":4.0}})");
+  ASSERT_TRUE(partial.mesh.has_value());
+  EXPECT_EQ(partial.mesh->geometry, "grid");
+  EXPECT_DOUBLE_EQ(partial.mesh->extent_m, 4.0);
+  EXPECT_DOUBLE_EQ(partial.mesh->shadow_sigma_db, 1.0);
+}
+
+TEST(MeshSpecTest, RejectsMalformedMeshSettings) {
+  EXPECT_THROW(CampaignSpec::parse(
+                   R"({"schema":1,"name":"m","experiment":"fusion_detection",)"
+                   R"("mesh":{"bogus_key":1}})"),
+               SpecError);
+  EXPECT_THROW(CampaignSpec::parse(
+                   R"({"schema":1,"name":"m","experiment":"fusion_detection",)"
+                   R"("mesh":{"geometry":"hexagon"}})"),
+               SpecError);
+  EXPECT_THROW(CampaignSpec::parse(
+                   R"({"schema":1,"name":"m","experiment":"fusion_detection",)"
+                   R"("mesh":{"extent_m":0}})"),
+               SpecError);
+  EXPECT_THROW(CampaignSpec::parse(
+                   R"({"schema":1,"name":"m","experiment":"fusion_detection",)"
+                   R"("mesh":{"shadow_sigma_db":-1}})"),
+               SpecError);
+  EXPECT_THROW(CampaignSpec::parse(
+                   R"({"schema":1,"name":"m","experiment":"fusion_detection",)"
+                   R"("mesh":7})"),
+               SpecError);
+}
+
+TEST(MeshSpecTest, ToJsonIsAFixedPointUnderTheRoundTrip) {
+  const CampaignSpec spec = CampaignSpec::parse(tiny_fusion_spec_text());
+  const Json canonical = spec.to_json();
+  const CampaignSpec reparsed = CampaignSpec::from_json(canonical);
+  EXPECT_EQ(reparsed.to_json().dump(), canonical.dump());
+  ASSERT_TRUE(reparsed.mesh.has_value());
+  EXPECT_DOUBLE_EQ(reparsed.mesh->extent_m, 8.0);
+}
+
+TEST(MeshPlanTest, FusionDetectionPairsAttackAndBenignUnitsPerCell) {
+  const CampaignSpec spec = CampaignSpec::parse(
+      R"({"schema":1,"name":"m","experiment":"fusion_detection",)"
+      R"("grid":[{"axis":"sensors","list":[4,9]},)"
+      R"({"axis":"snr_offset_db","list":[-6,0]}]})");
+  const CampaignPlan plan = plan_campaign(spec);
+  ASSERT_EQ(plan.stages.size(), 1u);
+  ASSERT_EQ(plan.units_total, 8u);  // 4 cells x {attack, benign}
+  for (std::size_t u = 0; u < plan.stages[0].size(); ++u) {
+    EXPECT_EQ(plan.stages[0][u].run_index, u);
+    EXPECT_EQ(plan.stages[0][u].role, u % 2 == 0 ? "attack" : "benign");
+  }
+  EXPECT_EQ(plan.stages[0][0].id, "u0000.attack.sensors=4,snr_offset_db=-6");
+}
+
+TEST(MeshPlanTest, LocalizationErrorHasOneUnitPerCell) {
+  const CampaignSpec spec =
+      CampaignSpec::parse(tiny_localization_spec_text());
+  const CampaignPlan plan = plan_campaign(spec);
+  ASSERT_EQ(plan.units_total, 2u);
+  EXPECT_EQ(plan.stages[0][0].role, "attack");
+  EXPECT_EQ(plan.stages[0][1].run_index, 1u);
+}
+
+TEST(MeshPlanTest, ExperimentsRejectForeignAxes) {
+  EXPECT_THROW(
+      plan_campaign(CampaignSpec::parse(
+          R"({"schema":1,"name":"m","experiment":"fusion_detection",)"
+          R"("grid":[{"axis":"snr_db","list":[7]}]})")),
+      SpecError);
+  // localization_error has no benign leg, so no snr_offset_db axis either.
+  EXPECT_THROW(
+      plan_campaign(CampaignSpec::parse(
+          R"({"schema":1,"name":"m","experiment":"localization_error",)"
+          R"("grid":[{"axis":"snr_offset_db","list":[0]}]})")),
+      SpecError);
+}
+
+TEST(MeshExecutorTest, FusionReportIsByteIdenticalAcrossThreadsAndShards) {
+  const CampaignSpec spec = CampaignSpec::parse(tiny_fusion_spec_text());
+
+  ExecutorOptions reference;
+  reference.out_dir = fresh_dir("fd_ref");
+  reference.threads = 1;
+  reference.quiet = true;
+  const CampaignOutcome ref = run_campaign(spec, reference);
+  ASSERT_TRUE(ref.complete);
+  EXPECT_NE(ref.report_json.find("\"majority_detection\":"),
+            std::string::npos);
+  EXPECT_NE(ref.report_json.find("\"bayesian_false_alarm\":"),
+            std::string::npos);
+
+  ExecutorOptions threaded;
+  threaded.out_dir = fresh_dir("fd_t8");
+  threaded.threads = 8;
+  threaded.quiet = true;
+  EXPECT_EQ(run_campaign(spec, threaded).report_json, ref.report_json);
+
+  ExecutorOptions sharded;
+  sharded.out_dir = fresh_dir("fd_shard");
+  sharded.shards = 2;
+  sharded.shard = 1;
+  sharded.quiet = true;
+  EXPECT_FALSE(run_campaign(spec, sharded).complete);
+  sharded.shard = 0;
+  const CampaignOutcome merged = run_campaign(spec, sharded);
+  ASSERT_TRUE(merged.complete);
+  EXPECT_EQ(merged.report_json, ref.report_json);
+}
+
+TEST(MeshExecutorTest, LocalizationReportCarriesErrorMetrics) {
+  const CampaignSpec spec =
+      CampaignSpec::parse(tiny_localization_spec_text());
+  ExecutorOptions options;
+  options.out_dir = fresh_dir("le");
+  options.threads = 1;
+  options.quiet = true;
+  const CampaignOutcome outcome = run_campaign(spec, options);
+  ASSERT_TRUE(outcome.complete);
+  EXPECT_NE(outcome.report_json.find("\"rmse_m\":"), std::string::npos);
+  EXPECT_NE(outcome.report_json.find("\"cep50_m\":"), std::string::npos);
+  EXPECT_NE(outcome.report_json.find("\"converged_fraction\":"),
+            std::string::npos);
+
+  ExecutorOptions threaded;
+  threaded.out_dir = fresh_dir("le_t8");
+  threaded.threads = 8;
+  threaded.quiet = true;
+  EXPECT_EQ(run_campaign(spec, threaded).report_json, outcome.report_json);
+}
+
+}  // namespace
+}  // namespace ctc::campaign

@@ -83,6 +83,10 @@ CLOCK_ALLOWLIST = {
     "bench/perf_sentry.cpp":
         "throughput/latency bench: wall time IS the measurand "
         "(trajectory-gated, never diffed for determinism)",
+    "bench/perf_mesh.cpp":
+        "sensor-field throughput bench: wall time IS the measurand "
+        "(trajectory-gated, never diffed for determinism; the batched-vs-"
+        "serial equality bit is clock-free)",
 }
 TELEM_ALLOWLIST = {
     "src/sim/telemetry.h": "defines the timer machinery",

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Mesh subsystem smoke test over the shipped quick campaigns:
+#   1. fusion_detection_quick: threads=1 reference, then a threads=8 run and
+#      a 2-way shard partition (shard 1 first, out of plan order) — both
+#      merged reports must be byte-identical to the reference. The per-trial
+#      sensor fan-out (per-sensor channels, fusion, localization) must not
+#      leak thread scheduling or shard membership into the numbers.
+#   2. localization_error_quick: same threads=1 vs threads=8 byte-diff, plus
+#      a sanity assertion that the reported RMSE improves (strictly
+#      decreases) from the 4-sensor field to the 9-sensor field at every
+#      shadowing level — more sensors must mean a better fix.
+#
+# usage: smoke_mesh.sh <build_dir> <source_dir>
+set -euo pipefail
+
+build_dir=${1:?usage: smoke_mesh.sh <build_dir> <source_dir>}
+source_dir=${2:?usage: smoke_mesh.sh <build_dir> <source_dir>}
+cli="$build_dir/tools/ctc_campaign"
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+fusion="$source_dir/campaigns/fusion_detection_quick.json"
+localize="$source_dir/campaigns/localization_error_quick.json"
+
+"$cli" run "$fusion" --out "$work/fd_ref" --threads=1 --quiet | tail -n1 > "$work/fd_ref.json"
+"$cli" run "$fusion" --out "$work/fd_t8" --threads=8 --quiet | tail -n1 > "$work/fd_t8.json"
+if ! diff "$work/fd_ref.json" "$work/fd_t8.json"; then
+  echo "FAIL: fusion_detection threads=8 differs from threads=1" >&2
+  exit 1
+fi
+echo "ok: fusion_detection threads=8 == threads=1"
+
+# Shard partition: shard 1 first (out of plan order, exit 3 = incomplete),
+# then shard 0 completes and merges.
+rc=0
+"$cli" run "$fusion" --out "$work/fd_shard" --shards=2 --shard=1 --quiet > /dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "FAIL: lone mesh shard should exit 3 (incomplete), got $rc" >&2
+  exit 1
+fi
+"$cli" run "$fusion" --out "$work/fd_shard" --shards=2 --shard=0 --quiet | tail -n1 > "$work/fd_shard.json"
+if ! diff "$work/fd_ref.json" "$work/fd_shard.json"; then
+  echo "FAIL: fusion_detection 2-shard aggregate differs from sequential run" >&2
+  exit 1
+fi
+echo "ok: fusion_detection 2-shard partition == sequential reference"
+
+"$cli" run "$localize" --out "$work/le_ref" --threads=1 --quiet | tail -n1 > "$work/le_ref.json"
+"$cli" run "$localize" --out "$work/le_t8" --threads=8 --quiet | tail -n1 > "$work/le_t8.json"
+if ! diff "$work/le_ref.json" "$work/le_t8.json"; then
+  echo "FAIL: localization_error threads=8 differs from threads=1" >&2
+  exit 1
+fi
+echo "ok: localization_error threads=8 == threads=1"
+
+python3 - "$work/le_ref.json" <<'EOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+cells = list(zip(report["sensors"], report["shadow_sigma_db"], report["rmse_m"]))
+by_shadow = {}
+for sensors, shadow, rmse in cells:
+    by_shadow.setdefault(shadow, {})[sensors] = rmse
+for shadow, rmse_by_sensors in sorted(by_shadow.items()):
+    counts = sorted(rmse_by_sensors)
+    for small, big in zip(counts, counts[1:]):
+        if not rmse_by_sensors[big] < rmse_by_sensors[small]:
+            sys.exit(f"FAIL: RMSE not improving with sensors at shadow="
+                     f"{shadow}: {rmse_by_sensors}")
+    print(f"ok: rmse decreases {counts} sensors at shadow={shadow}: "
+          + " > ".join(f"{rmse_by_sensors[c]:.3f}" for c in counts))
+EOF
+
+echo "smoke_mesh: all checks passed"

@@ -77,6 +77,12 @@ class LintFixtureTest(unittest.TestCase):
     def test_rng_comment_mention_passes(self):
         self.assert_rules("// avoids std::mt19937 seeding pitfalls\n", [])
 
+    def test_rng_in_mesh_subsystem_fails(self):
+        # The sensor fan-out must draw from dsp::Rng::for_stream, never from
+        # a std engine — same rule as everywhere else, zero mesh waivers.
+        self.assert_rules("std::mt19937 per_sensor(sensor_id);\n", ["rng"],
+                          rel="src/mesh/sensor_field.cpp")
+
     def test_rng_waiver_suppresses(self):
         self.assert_rules(
             "std::mt19937 legacy;  // det-lint: allow(rng)\n", [])
@@ -100,6 +106,18 @@ class LintFixtureTest(unittest.TestCase):
         self.assert_rules(
             "const auto start = std::chrono::steady_clock::now();\n", [],
             rel="bench/perf_engine.cpp")
+
+    def test_clock_in_mesh_subsystem_fails(self):
+        # src/mesh/ gets no special treatment: a clock read in the fusion or
+        # localization code is a determinism bug, not a measurement.
+        self.assert_rules(
+            "auto t0 = std::chrono::steady_clock::now();\n", ["clock"],
+            rel="src/mesh/sensor_field.cpp")
+
+    def test_clock_perf_mesh_bench_allowlisted(self):
+        self.assert_rules(
+            "const auto start = std::chrono::steady_clock::now();\n", [],
+            rel="bench/perf_mesh.cpp")
 
     def test_clock_duration_types_pass(self):
         # Durations and chrono arithmetic are fine; only clock *reads* leak
