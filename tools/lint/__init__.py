@@ -1,0 +1,13 @@
+"""Shared static-analysis framework for the ctc lint family.
+
+Modules:
+  framework   file walking, comment blanking, waiver parsing, findings,
+              compile_commands-aware include resolution
+  layering    architecture-layer conformance (layers.json)
+  registries  contract-registry cross-checks (kernel table, JSON schemas,
+              telemetry metric families, RNG stream-ID namespaces)
+
+Drivers live one directory up: tools/ctc_lint.py (architecture + registry
+analyzers) and tools/lint_determinism.py (reproducibility rules), both built
+on this package. See docs/STATIC_ANALYSIS.md for the rule catalog.
+"""

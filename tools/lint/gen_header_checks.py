@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Header self-sufficiency checker (rule: header-selfcheck).
+
+Every public header must compile standalone — pulling in everything it
+uses — and survive double inclusion, which also proves its include guard.
+The build-tree enforcement is the generated `ctc_header_selfcheck` object
+library (root CMakeLists.txt, same TU shape); this script is the
+standalone equivalent for checkouts without a build tree and for the
+lint's own fixture tests: generate one `check_<slug>.cpp` per header,
+then (with --compile) syntax-check each against the compiler.
+
+Usage:
+  gen_header_checks.py --src DIR [--out DIR] [--compile] [--cxx CXX]
+
+Exit 0 = all headers pass (or generation-only), 1 = findings, 2 = usage
+error. Findings print in the shared `path:line: [rule] message` format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from lint import framework  # noqa: E402
+
+
+def tu_body(rel: str) -> str:
+    return f'#include "{rel}"\n#include "{rel}"\n'
+
+
+def slug_of(rel: str) -> str:
+    return re.sub(r"[^A-Za-z0-9]", "_", rel)
+
+
+def generate(src: Path, out: Path) -> list:
+    """Writes one check TU per header under `src` into `out` (write-if-
+    changed); returns [(header_rel, tu_path)] sorted by header."""
+    out.mkdir(parents=True, exist_ok=True)
+    pairs = []
+    for header in sorted(src.rglob("*.h")):
+        rel = header.relative_to(src).as_posix()
+        tu = out / f"check_{slug_of(rel)}.cpp"
+        body = tu_body(rel)
+        if not tu.is_file() or tu.read_text() != body:
+            tu.write_text(body)
+        pairs.append((rel, tu))
+    return pairs
+
+
+def compile_checks(pairs, src: Path, cxx: str, std: str) -> list:
+    findings = []
+    for rel, tu in pairs:
+        result = subprocess.run(
+            [cxx, f"-std={std}", "-fsyntax-only", "-I", str(src), str(tu)],
+            capture_output=True, text=True)
+        if result.returncode != 0:
+            detail = (result.stderr or result.stdout).strip()
+            first = detail.splitlines()[0] if detail else "compile failed"
+            findings.append(framework.Finding(
+                f"src/{rel}", 1, "header-selfcheck",
+                "header does not compile standalone (or its include guard "
+                f"fails under double inclusion): {first}"))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gen_header_checks.py",
+        description="generate/compile header self-sufficiency TUs")
+    parser.add_argument("--src", required=True,
+                        help="header root (the src/ directory)")
+    parser.add_argument("--out", default=None,
+                        help="TU output directory (default: temp dir)")
+    parser.add_argument("--compile", action="store_true",
+                        help="syntax-check each generated TU")
+    parser.add_argument("--cxx", default="c++", help="compiler (default c++)")
+    parser.add_argument("--std", default="c++20",
+                        help="language standard (default c++20)")
+    args = parser.parse_args(argv)
+
+    src = Path(args.src).resolve()
+    if not src.is_dir():
+        print(f"gen_header_checks.py: no such directory: {src}",
+              file=sys.stderr)
+        return 2
+
+    if args.out is None and args.compile:
+        with tempfile.TemporaryDirectory() as tmp:
+            pairs = generate(src, Path(tmp))
+            findings = compile_checks(pairs, src, args.cxx, args.std)
+    else:
+        out = Path(args.out) if args.out else None
+        if out is None:
+            print("gen_header_checks.py: --out required without --compile",
+                  file=sys.stderr)
+            return 2
+        pairs = generate(src, out)
+        findings = (compile_checks(pairs, src, args.cxx, args.std)
+                    if args.compile else [])
+
+    sys.stdout.write(framework.render_report(
+        findings, len(pairs), "header_selfcheck"))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Architecture-layer conformance: the docs/ARCHITECTURE.md dependency
+table, enforced over every #include in the tree.
+
+The layer spec (tools/lint/layers.json) names each layer, the path
+prefixes that place a file in it, and the layers it may include directly.
+Three rules:
+
+  layer-dep       A quoted include from layer A into layer B where B is not
+                  in A's declared deps. The message distinguishes *upward*
+                  edges (B transitively depends on A — admitting the edge
+                  would create a cycle) from merely *undeclared* ones
+                  (declare the edge in layers.json + ARCHITECTURE.md, or
+                  remove the include).
+
+  layer-cycle     A cycle in the file-level quoted-include graph (header A
+                  includes B includes A). Also fired, once, if the declared
+                  layer graph itself is cyclic — a spec bug.
+
+  layer-unmapped  A src/ file no layer path prefix claims. New subsystems
+                  must register in layers.json before they can include or
+                  be included.
+
+Files under the `consumers` prefixes (bench/ tools/ examples/ tests/) may
+include any layer; they still participate in cycle detection.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from . import framework
+
+SPEC_PATH = Path(__file__).resolve().parent / "layers.json"
+
+
+def load_spec(path: Path = SPEC_PATH) -> dict:
+    spec = json.loads(path.read_text())
+    # Longest-prefix-first match order, so carve-outs (telemetry inside
+    # src/sim/) beat their containing directory.
+    matchers = []
+    for layer, entry in spec["layers"].items():
+        for prefix in entry["paths"]:
+            matchers.append((prefix, layer))
+    matchers.sort(key=lambda item: len(item[0]), reverse=True)
+    spec["_matchers"] = matchers
+    return spec
+
+
+def layer_of(rel: str, spec: dict):
+    """Layer name for a root-relative path, "consumer" for bench/tools/
+    examples/tests, None for anything else (cmake scripts, docs...)."""
+    for prefix, layer in spec["_matchers"]:
+        if rel == prefix or (prefix.endswith("/") and rel.startswith(prefix)):
+            return layer
+    for prefix in spec["consumers"]["paths"]:
+        if rel.startswith(prefix):
+            return "consumer"
+    return None
+
+
+def _transitive_deps(spec: dict) -> dict:
+    """layer -> set of layers reachable through declared deps."""
+    deps = {name: set(entry["deps"]) for name, entry in spec["layers"].items()}
+    closed = {}
+    for name in deps:
+        seen, stack = set(), list(deps[name])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(deps.get(current, ()))
+        closed[name] = seen
+    return closed
+
+
+def check_spec_acyclic(spec: dict) -> list:
+    """A declared layer graph with a cycle cannot be enforced — flag it as
+    a layer-cycle finding against the spec file itself."""
+    closure = _transitive_deps(spec)
+    findings = []
+    for name, reachable in sorted(closure.items()):
+        if name in reachable:
+            findings.append(framework.Finding(
+                "tools/lint/layers.json", 1, "layer-cycle",
+                f"declared layer graph is cyclic through '{name}' — the "
+                "dependency table must be a DAG"))
+    return findings
+
+
+def check_layer_deps(tree, spec: dict) -> list:
+    """layer-dep + layer-unmapped over every quoted include in the tree.
+
+    Includes are attributed by the *target path* (the "layer/file.h"
+    spelling every first-party include uses), falling back to resolving
+    against src/ — no compiler needed, but compile_commands keeps the
+    mapping exact when a build tree exists."""
+    findings = []
+    closure = _transitive_deps(spec)
+    for source in tree:
+        from_layer = layer_of(source.rel, spec)
+        if from_layer is None:
+            if source.rel.startswith("src/"):
+                findings.append(framework.Finding(
+                    source.rel, 1, "layer-unmapped",
+                    "file belongs to no layer in tools/lint/layers.json — "
+                    "register the subsystem (and its dependency row in "
+                    "docs/ARCHITECTURE.md) before growing it"))
+            continue
+        if from_layer == "consumer":
+            continue  # bench/tools/examples/tests may include any layer
+        declared = set(spec["layers"][from_layer]["deps"])
+        for line_no, quoted, target in source.includes():
+            if not quoted:
+                continue
+            to_layer = layer_of("src/" + target, spec)
+            if to_layer is None or to_layer in (from_layer, "consumer"):
+                continue
+            if to_layer in declared:
+                continue
+            if source.waived(line_no, "layer-dep"):
+                continue
+            if from_layer in closure.get(to_layer, set()):
+                kind = (f"UPWARD edge: '{to_layer}' is built on top of "
+                        f"'{from_layer}'")
+            else:
+                kind = "undeclared cross-layer edge"
+            findings.append(framework.Finding(
+                source.rel, line_no, "layer-dep",
+                f"{kind} — layer '{from_layer}' may not include "
+                f"'{target}' (declared deps: "
+                f"{sorted(declared) or 'none'}; grow layers.json and the "
+                "ARCHITECTURE.md table together if this dependency is "
+                "intentional)"))
+    return findings
+
+
+def check_include_cycles(tree, root: Path, include_dirs) -> list:
+    """File-level include cycle detection over the scanned tree.
+
+    Builds the quoted-include graph restricted to scanned files (resolved
+    the way the preprocessor would) and reports each strongly-connected
+    cycle once, anchored at its lexicographically-smallest member so the
+    finding is stable across runs."""
+    rel_by_abs = {}
+    for source in tree:
+        rel_by_abs[(root / source.rel).resolve().as_posix()] = source.rel
+    graph = {}
+    include_line = {}
+    for source in tree:
+        targets = []
+        includer = root / source.rel
+        for line_no, quoted, target in source.includes():
+            if not quoted:
+                continue
+            resolved = framework.resolve_include(target, includer, include_dirs)
+            if resolved is None:
+                continue
+            rel = rel_by_abs.get(resolved.as_posix())
+            if rel is not None and rel != source.rel:
+                targets.append(rel)
+                include_line.setdefault((source.rel, rel), line_no)
+        graph[source.rel] = targets
+
+    findings = []
+    color = {}  # rel -> 1 while on stack, 2 when done
+    stack = []
+
+    def visit(node):
+        color[node] = 1
+        stack.append(node)
+        for nxt in graph.get(node, ()):
+            state = color.get(nxt)
+            if state is None:
+                visit(nxt)
+            elif state == 1:
+                cycle = stack[stack.index(nxt):] + [nxt]
+                anchor = min(cycle[:-1])
+                offset = cycle.index(anchor)
+                ordered = cycle[offset:-1] + cycle[:offset] + [anchor]
+                key = tuple(ordered)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    line = include_line.get((ordered[0], ordered[1]), 1)
+                    findings.append(framework.Finding(
+                        ordered[0], line, "layer-cycle",
+                        "include cycle: " + " -> ".join(ordered)))
+        stack.pop()
+        color[node] = 2
+
+    seen_cycles = set()
+    for node in sorted(graph):
+        if node not in color:
+            visit(node)
+    return findings
+
+
+def run(tree, root: Path, include_dirs, spec: dict = None) -> list:
+    if spec is None:
+        spec = load_spec()
+    findings = check_spec_acyclic(spec)
+    if not findings:  # a cyclic spec makes dep classification meaningless
+        findings += check_layer_deps(tree, spec)
+    findings += check_include_cycles(tree, root, include_dirs)
+    return findings

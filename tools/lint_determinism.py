@@ -34,10 +34,16 @@ to expose them. This lint enforces the reproducibility rules *statically*:
                  ships with a scalar twin behind runtime dispatch — ad-hoc
                  intrinsics elsewhere fork numerics between build hosts.
 
-A finding can be waived inline with `// det-lint: allow(<rule>)` on the
-flagged line; waivers are expected to be rare and justified in an adjacent
-comment. Allowlisted files are enumerated below WITH the reason they are
-exempt — extend the list only with a reason.
+A finding can be waived inline with `// ctc-lint: allow(<rule>)` on the
+flagged line (the legacy spelling `// det-lint: allow(<rule>)` still works
+as a deprecated alias — see docs/STATIC_ANALYSIS.md); waivers are expected
+to be rare and justified in an adjacent comment. Allowlisted files are
+enumerated below WITH the reason they are exempt — extend the list only
+with a reason.
+
+Built on the shared tools/lint/ framework (file walking, comment blanking,
+waiver parsing, report format) — tools/ctc_lint.py is the sibling driver
+for architecture/contract rules.
 
 Usage:
   lint_determinism.py [--root DIR] [FILE ...]
@@ -53,8 +59,12 @@ import re
 import sys
 from pathlib import Path
 
-SOURCE_EXTENSIONS = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
-SCAN_DIRS = ("src", "bench", "tools", "examples", "tests")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from lint import framework  # noqa: E402
+
+SOURCE_EXTENSIONS = framework.SOURCE_EXTENSIONS
+SCAN_DIRS = framework.SCAN_DIRS
 
 # Files exempt from a rule, path (relative to --root, POSIX separators) ->
 # justification. The justification is printed with --list-rules so the
@@ -97,7 +107,11 @@ TELEM_ALLOWLIST = {
     "tests/sim/telemetry_disabled_test.cpp": "tests the compiled-out macros",
 }
 
-WAIVER_RE = re.compile(r"//\s*det-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+# Back-compat names: both spellings parse via the framework now.
+WAIVER_RE = framework.WAIVER_RES[1]
+Violation = framework.Finding
+blank_comments = framework.blank_comments
+line_waivers = framework.line_waivers
 
 # -- rule: rng ---------------------------------------------------------------
 
@@ -166,79 +180,6 @@ CLOCKISH_ARG_RE = re.compile(
     r"std::chrono|::now\s*\(|\belapsed\w*\b|\bnanoseconds\b|_ns\b")
 
 
-def blank_comments(text: str) -> str:
-    """Returns `text` with //- and /* */-comments replaced by spaces,
-    preserving line structure so reported line numbers stay exact. String
-    literals are left intact (banned tokens never legitimately hide in
-    them, and report markers must stay visible)."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line | block | str | chr
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "str"
-            elif c == "'":
-                state = "chr"
-            out.append(c)
-        elif state == "line":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif state in ("str", "chr"):
-            quote = '"' if state == "str" else "'"
-            if c == "\\":
-                out.append(c)
-                if nxt:
-                    out.append(nxt)
-                    i += 2
-                    continue
-            elif c == quote:
-                state = "code"
-            out.append(c)
-        i += 1
-    return "".join(out)
-
-
-class Violation:
-    def __init__(self, path: str, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def line_waivers(raw_line: str) -> set:
-    match = WAIVER_RE.search(raw_line)
-    if not match:
-        return set()
-    return {rule.strip() for rule in match.group(1).split(",")}
-
-
 def extract_macro_args(code: str, start: int) -> str:
     """Returns the balanced-paren argument text of a macro call whose
     opening paren is at/after `start` (capped scan; macros here are short)."""
@@ -256,16 +197,16 @@ def extract_macro_args(code: str, start: int) -> str:
     return code[open_idx + 1:open_idx + 2000]
 
 
-def lint_file(path: Path, rel: str) -> list:
-    raw = path.read_text(encoding="utf-8", errors="replace")
-    code = blank_comments(raw)
-    raw_lines = raw.splitlines()
-    code_lines = code.splitlines()
+def lint_source(source: framework.SourceFile) -> list:
+    """All determinism rules over one loaded SourceFile."""
+    rel = source.rel
+    raw = source.raw
+    code = source.code
+    code_lines = source.code_lines
     violations = []
 
     def flag(line_no: int, rule: str, message: str) -> None:
-        raw_line = raw_lines[line_no - 1] if line_no - 1 < len(raw_lines) else ""
-        if rule in line_waivers(raw_line):
+        if source.waived(line_no, rule):
             return
         violations.append(Violation(rel, line_no, rule, message))
 
@@ -341,16 +282,12 @@ def lint_file(path: Path, rel: str) -> list:
     return violations
 
 
+def lint_file(path: Path, rel: str) -> list:
+    return lint_source(framework.SourceFile.load(path, rel))
+
+
 def collect_files(root: Path) -> list:
-    files = []
-    for sub in SCAN_DIRS:
-        base = root / sub
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix in SOURCE_EXTENSIONS and path.is_file():
-                files.append(path)
-    return files
+    return framework.collect_files(root)
 
 
 def main(argv: list) -> int:

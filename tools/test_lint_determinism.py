@@ -87,6 +87,12 @@ class LintFixtureTest(unittest.TestCase):
         self.assert_rules(
             "std::mt19937 legacy;  // det-lint: allow(rng)\n", [])
 
+    def test_rng_unified_ctc_lint_waiver_suppresses(self):
+        # The unified spelling works everywhere; det-lint above is the
+        # deprecated alias (docs/STATIC_ANALYSIS.md migration note).
+        self.assert_rules(
+            "std::mt19937 legacy;  // ctc-lint: allow(rng)\n", [])
+
     # -- clock --------------------------------------------------------------
 
     def test_clock_steady_clock_fails(self):
