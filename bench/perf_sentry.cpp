@@ -21,11 +21,13 @@
 //     same run always drops the same samples).
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "sentry/service.h"
+#include "sim/telemetry.h"
 
 using namespace ctc;
 
@@ -215,6 +217,46 @@ int main(int argc, char** argv) {
                    sim::Table::num(100.0 * drop_rate, 2) + " % drop rate"});
   }
   report.set("overload_drop_rate", drop_rate);
+
+  // -- per-stage time breakdown ---------------------------------------------
+  // Where an ingested sample's nanoseconds go: the sentry/{scan,decode,
+  // classify,write}_ns telemetry timers (docs/TELEMETRY.md) over one more
+  // single-channel replay, normalized per ingested sample. Telemetry is
+  // force-enabled just for this run (its overhead stays out of the
+  // throughput numbers above); sums are deltas against the collector's
+  // prior state, so a --telemetry run's earlier sections don't bleed in.
+  {
+    const auto timer_sum = [](const std::vector<sim::telemetry::MetricValue>&
+                                  metrics,
+                              const char* name) {
+      for (const sim::telemetry::MetricValue& metric : metrics) {
+        if (metric.stage == "sentry" && metric.name == name) {
+          return metric.cell.sum;
+        }
+      }
+      return 0.0;
+    };
+    const bool was_enabled = sim::telemetry::enabled();
+    sim::telemetry::set_enabled(true);
+    const auto before = sim::telemetry::collect();
+    sentry::ServiceConfig config;
+    const sentry::ServiceReport result =
+        sentry::SentryService(config, replay_factory).run();
+    const auto after = sim::telemetry::collect();
+    sim::telemetry::set_enabled(was_enabled);
+
+    const double samples = static_cast<double>(result.total_ingested());
+    for (const char* stage :
+         {"scan_ns", "decode_ns", "classify_ns", "write_ns"}) {
+      const double ns = timer_sum(after, stage) - timer_sum(before, stage);
+      const double per_sample = samples > 0.0 ? ns / samples : 0.0;
+      report.set(std::string("stage_") + stage + "_per_sample", per_sample);
+      table.add_row({std::string("stage: sentry/") + stage,
+                     sim::Table::num(samples, 0),
+                     sim::Table::num(ns / 1e6, 1) + " ms",
+                     sim::Table::num(per_sample, 2) + " ns/sample"});
+    }
+  }
 
   table.print();
   bench::finish(report, options);

@@ -128,6 +128,14 @@ struct KernelTable {
   double (*energy)(const cplx* x, std::size_t n);
   /// sum a[i] * conj(b[i]) with a 4-complex-lane structure.
   cplx (*dot_conj)(const cplx* a, const cplx* b, std::size_t n);
+  /// Sliding strip of conjugate dots: out[s] = dot_conj(a + s, b, n) for
+  /// every s in [0, m), bit for bit — the per-offset summation order and
+  /// lane fold are exactly dot_conj's. `out` must not alias `a` or `b`.
+  /// The AVX2 form keeps four offsets in flight per pass, sharing each
+  /// reference broadcast across the strip, which is what turns the frame
+  /// scanner's per-offset sweep into a cache-resident blocked one.
+  void (*corr_many)(const cplx* a, const cplx* b, std::size_t n,
+                    std::size_t m, cplx* out);
   /// Accumulates samples into `lanes` continuing at global sample index
   /// `start_index` (lane = (start_index + i) mod 4).
   void (*cumulant_acc)(const cplx* x, std::size_t n, std::size_t start_index,

@@ -22,6 +22,7 @@ const KernelTable& scalar_table() {
       .cdiv = scalar_impl::cdiv,
       .energy = scalar_impl::energy,
       .dot_conj = scalar_impl::dot_conj,
+      .corr_many = scalar_impl::corr_many,
       .cumulant_acc = scalar_impl::cumulant_acc,
       .oqpsk_mf = scalar_impl::oqpsk_mf,
       .pack_hard_chips = scalar_impl::pack_hard_chips,

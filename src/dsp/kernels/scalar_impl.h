@@ -175,6 +175,14 @@ inline cplx dot_conj(const cplx* a, const cplx* b, std::size_t n) {
   return dot_conj_fold(lr, li);
 }
 
+// Reference strip correlation: one independent dot_conj per offset. The
+// AVX2 form restructures the register layout but keeps every offset's lane
+// sums and fold identical, so the two agree bit for bit.
+inline void corr_many(const cplx* a, const cplx* b, std::size_t n,
+                      std::size_t m, cplx* out) {
+  for (std::size_t s = 0; s < m; ++s) out[s] = dot_conj(a + s, b, n);
+}
+
 // One sample's contribution to the cumulant sums, with the exact rounding
 // structure of the legacy estimate_cumulants() loop compiled without FMA:
 //   x2  = x * x                 (libstdc++ complex multiply)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "dsp/kernels/kernels.h"
@@ -35,6 +36,28 @@ StreamScanner::StreamScanner(ScannerConfig config, std::size_t channel,
   guard_ = 8 * config_.receiver.samples_per_chip;
   frame_need_ =
       ppdu_samples(config_.max_psdu_bytes, config_.receiver.samples_per_chip);
+
+  // Preamble-structure screen setup. The SHR is eight identical preamble
+  // symbols followed by the SFD: with the O-QPSK half-sine pulse confined to
+  // one chip period, every preamble symbol after the first reproduces the
+  // same sample block exactly (the first differs only in its leading chip,
+  // which has no predecessor). Verify that bitwise rather than assume it —
+  // if a future waveform profile breaks the structure the scanner falls
+  // back to the exact full sweep and stays correct.
+  seg_len_ = zigbee::kChipsPerSymbol * config_.receiver.samples_per_chip;
+  preamble_len_ = 2 * zigbee::kPreambleBytes * seg_len_;
+  screen_ok_ = window_ > preamble_len_ && preamble_len_ == 8 * seg_len_;
+  for (std::size_t k = 2; screen_ok_ && k < 8; ++k) {
+    screen_ok_ = std::memcmp(shr_reference_.data() + seg_len_,
+                             shr_reference_.data() + k * seg_len_,
+                             seg_len_ * sizeof(cplx)) == 0;
+  }
+  if (screen_ok_) {
+    const dsp::kernels::KernelTable& kt = dsp::kernels::active();
+    seg0_energy_ = kt.energy(shr_reference_.data(), seg_len_);
+    tail_energy_ = kt.energy(shr_reference_.data() + preamble_len_,
+                             window_ - preamble_len_);
+  }
 }
 
 std::size_t StreamScanner::ppdu_samples(std::size_t psdu_bytes,
@@ -53,6 +76,15 @@ void StreamScanner::push(std::span<const cplx> samples,
   last_dropped_ = dropped_so_far;
   CTC_TELEM_COUNT("sentry", "samples_in", samples.size());
   buffer_.insert(buffer_.end(), samples.begin(), samples.end());
+  // Incremental frame-sync state: each sample's |x|^2 is computed exactly
+  // once, on arrival. Scan rounds overlap by window_ - 1 + guard_ samples,
+  // so the pre-cache scanner recomputed these norms once per overlapping
+  // round; now they are loads.
+  const std::size_t old_size = norms_.size();
+  norms_.resize(buffer_.size());
+  for (std::size_t i = old_size; i < buffer_.size(); ++i) {
+    norms_[i] = std::norm(buffer_[i]);
+  }
   advance(false);
 }
 
@@ -98,17 +130,22 @@ bool StreamScanner::scan_round(bool flushing) {
   }
 
   ++stats_.scan_rounds;
+  CTC_TELEM_TIMER("sentry", "scan_ns");
   const dsp::kernels::KernelTable& kt = dsp::kernels::active();
   const std::size_t search_end =
       std::min(avail() - window_, limit - 1 + guard_);
 
   // Sliding window energy via prefix sums: O(1) per offset instead of a
-  // second O(window) reduction. The sums are a fixed left-to-right order,
-  // so they are as partition-invariant as the rest of the round.
+  // second O(window) reduction. The running sum reads the cached per-sample
+  // norms but is still anchored at this round's first offset and added in
+  // the same left-to-right order, so every window energy is bit-identical
+  // to the pre-cache scanner (a persistent epoch-anchored prefix would not
+  // be: float prefix differences depend on the anchor).
   energy_prefix_.resize(search_end + window_ + 1);
   energy_prefix_[0] = 0.0;
+  const double* norms = norms_.data() + start_;
   for (std::size_t i = 0; i < search_end + window_; ++i) {
-    energy_prefix_[i + 1] = energy_prefix_[i] + std::norm(data()[i]);
+    energy_prefix_[i + 1] = energy_prefix_[i] + norms[i];
   }
   const auto window_energy = [&](std::size_t offset) {
     return energy_prefix_[offset + window_] - energy_prefix_[offset];
@@ -120,10 +157,53 @@ bool StreamScanner::scan_round(bool flushing) {
            (window_energy(offset) * reference_energy_);
   };
 
+  // Preamble-structure screen. One corr_many pass correlates the stream
+  // against the repeated preamble segment at every offset the round can
+  // touch (including each offset's seven segment-aligned echoes). For a
+  // candidate offset o, the full-window correlation splits exactly (in real
+  // arithmetic) into the head segment, seven repeated segments, and the
+  // SFD/tail remainder:
+  //
+  //   |dot(o)| <= sqrt(7 * sum_k |c(o + k*seg)|^2)        (triangle + C-S
+  //             + sqrt(E_sig(o, seg)        * E_seg0)      over segments,
+  //             + sqrt(E_sig(o+8seg, tail)  * E_tail)      C-S on the rest)
+  //
+  // The 1e-6 slack swamps every float-rounding discrepancy between this
+  // bound and the exact kernel's summation order (relative error there is
+  // O(window * eps) ~ 1e-13), so bound < threshold proves the exact metric
+  // cannot reach the threshold and the offset is skipped without changing
+  // any decision. Survivors — true peaks and segment-aligned partial
+  // overlaps — still run the exact dot in the original order.
+  const bool screened = screen_ok_;
+  if (screened) {
+    const std::size_t strip = search_end + 6 * seg_len_ + 1;
+    corr_strip_.resize(strip);
+    kt.corr_many(data() + seg_len_, shr_reference_.data() + seg_len_,
+                 seg_len_, strip, corr_strip_.data());
+  }
+  const auto bound_metric = [&](std::size_t offset, double we) {
+    double seg_power = 0.0;
+    for (std::size_t k = 0; k < 7; ++k) {
+      seg_power += std::norm(corr_strip_[offset + k * seg_len_]);
+    }
+    const double head =
+        energy_prefix_[offset + seg_len_] - energy_prefix_[offset];
+    const double tail = energy_prefix_[offset + window_] -
+                        energy_prefix_[offset + preamble_len_];
+    const double bound = std::sqrt(7.0 * seg_power) +
+                         std::sqrt(head * seg0_energy_) +
+                         std::sqrt(tail * tail_energy_);
+    return bound * bound * (1.0 + 1e-6) / (we * reference_energy_);
+  };
+
   std::size_t best = kNoPendingSync;
   double best_metric = 0.0;
   for (std::size_t offset = 0; offset < limit; ++offset) {
-    if (window_energy(offset) <= config_.energy_gate) continue;
+    const double we = window_energy(offset);
+    if (we <= config_.energy_gate) continue;
+    if (screened && bound_metric(offset, we) < config_.sync_threshold) {
+      continue;  // provably below threshold: skipping cannot change `best`
+    }
     const double metric = metric_at(offset);
     if (metric >= config_.sync_threshold && metric > best_metric) {
       best = offset;
@@ -142,7 +222,11 @@ bool StreamScanner::scan_round(bool flushing) {
   // horizon extends another guard_ offsets (never beyond search_end).
   std::size_t horizon = std::min(best + guard_, search_end);
   for (std::size_t offset = best + 1; offset <= horizon; ++offset) {
-    if (window_energy(offset) <= config_.energy_gate) continue;
+    const double we = window_energy(offset);
+    if (we <= config_.energy_gate) continue;
+    if (screened && bound_metric(offset, we) <= best_metric) {
+      continue;  // bound can't beat the incumbent, so neither can the metric
+    }
     if (const double metric = metric_at(offset); metric > best_metric) {
       best = offset;
       best_metric = metric;
@@ -160,8 +244,12 @@ void StreamScanner::decode_at(std::size_t offset) {
   CTC_TELEM_TIMER("sentry", "frame_ns");
   const std::size_t have = avail() - offset;
   const std::size_t take = std::min(have, frame_need_);
-  const zigbee::ReceiveResult rx =
-      receiver_.receive(std::span<const cplx>(data() + offset, take));
+  std::optional<zigbee::ReceiveResult> decoded;
+  {
+    CTC_TELEM_TIMER("sentry", "decode_ns");
+    decoded = receiver_.receive(std::span<const cplx>(data() + offset, take));
+  }
+  const zigbee::ReceiveResult& rx = *decoded;
 
   // False sync (or a truncated tail): skip past the correlated window so
   // the next round starts on fresh samples.
@@ -175,10 +263,13 @@ void StreamScanner::decode_at(std::size_t offset) {
 
     const rvec& chips =
         config_.tap == ScanTap::discriminator ? rx.freq_chips : rx.soft_chips;
-    detector_.begin_frame();
-    detector_.push_chips(chips);
-    const std::optional<defense::Verdict> verdict =
-        detector_.verdict(config_.min_points);
+    std::optional<defense::Verdict> verdict;
+    {
+      CTC_TELEM_TIMER("sentry", "classify_ns");
+      detector_.begin_frame();
+      detector_.push_chips(chips);
+      verdict = detector_.verdict(config_.min_points);
+    }
 
     VerdictRecord record;
     record.channel = channel_;
@@ -219,6 +310,8 @@ void StreamScanner::consume(std::size_t count) {
   if (start_ >= 4096 && start_ * 2 >= buffer_.size()) {
     buffer_.erase(buffer_.begin(),
                   buffer_.begin() + static_cast<std::ptrdiff_t>(start_));
+    norms_.erase(norms_.begin(),
+                 norms_.begin() + static_cast<std::ptrdiff_t>(start_));
     start_ = 0;
   }
 }

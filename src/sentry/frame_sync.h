@@ -135,6 +135,21 @@ class StreamScanner {
   double reference_energy_ = 0.0;
   std::size_t window_ = 0;      ///< SHR samples
   std::size_t frame_need_ = 0;  ///< max PPDU samples (lookahead bound)
+  /// Preamble-structure screen: the SHR's eight preamble symbols repeat the
+  /// same sample block (symbol period seg_len_), so symbols 1..7 of the
+  /// reference are bitwise-identical segments. A scan round correlates the
+  /// stream against that ONE segment at every strip offset (corr_many) and
+  /// combines the per-segment magnitudes into a rigorous upper bound on the
+  /// full-window correlation (triangle inequality across segments +
+  /// Cauchy-Schwarz on the non-repeating head/tail). Offsets whose bound
+  /// falls below the acceptance threshold provably cannot synchronize and
+  /// skip the exact window_-sample dot — the decisions (and therefore every
+  /// output byte) are unchanged, only the arithmetic volume drops.
+  bool screen_ok_ = false;      ///< segment structure verified at construction
+  std::size_t seg_len_ = 0;     ///< one symbol period in samples
+  std::size_t preamble_len_ = 0;  ///< eight preamble symbols in samples
+  double seg0_energy_ = 0.0;    ///< energy of the (distinct) first segment
+  double tail_energy_ = 0.0;    ///< energy of the SFD + pulse-tail remainder
   /// Hill-climb extension past a threshold crossing so a peak straddling a
   /// round boundary refines to its true offset (fixed width => partition
   /// invariant).
@@ -150,7 +165,17 @@ class StreamScanner {
 
   std::size_t last_queue_depth_ = 0;
   std::uint64_t last_dropped_ = 0;
-  rvec energy_prefix_;  ///< scratch: prefix sums of |x|^2 per scan round
+  /// Per-sample |x|^2, maintained incrementally: computed once when a block
+  /// arrives (push) and erased alongside buffer_ at compaction, so a sample's
+  /// norm is never recomputed across the scan rounds that overlap it. Always
+  /// parallel to buffer_.
+  rvec norms_;
+  /// Scratch: per-round prefix sums over norms_. Still rebuilt per round —
+  /// anchoring the running sum at each round's first offset (not at a
+  /// persistent epoch) is what keeps window energies bit-identical to the
+  /// pre-cache scanner, since float prefix differences depend on the anchor.
+  rvec energy_prefix_;
+  cvec corr_strip_;  ///< scratch: corr_many output strip per scan round
 
   ScannerStats stats_;
 };

@@ -68,6 +68,44 @@ class SpscRing {
     return count;
   }
 
+  /// A consumer's zero-copy view of queued items, in ring storage. Because
+  /// the ring wraps, the readable region is at most two contiguous spans;
+  /// `second` is empty unless the region crosses the physical end.
+  struct View {
+    std::span<const T> first;
+    std::span<const T> second;
+    std::size_t total() const { return first.size() + second.size(); }
+    bool empty() const { return first.empty(); }
+  };
+
+  /// Consumer side, zero-copy. Returns spans over up to `max` queued items
+  /// WITHOUT retiring them: the producer cannot overwrite the viewed slots
+  /// (they are still unconsumed), so the spans stay valid until the
+  /// consumer calls consume(). The acquire load of tail_ makes the
+  /// producer's writes to those slots visible, exactly as in try_pop —
+  /// peek + consume is try_pop minus the staging copy.
+  View peek(std::size_t max) const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t count = std::min(max, tail - head);
+    const std::size_t index = head & mask_;
+    const std::size_t contiguous = std::min(count, capacity() - index);
+    return {std::span<const T>(slots_.get() + index, contiguous),
+            std::span<const T>(slots_.get(), count - contiguous)};
+  }
+
+  /// Retires `count` items previously observed via peek(); the release
+  /// store is what hands the freed slots back to the producer, so it must
+  /// happen strictly AFTER the consumer is done reading them. `count` must
+  /// not exceed the queued total.
+  void consume(std::size_t count) {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    CTC_REQUIRE_MSG(count <= tail - head,
+                    "SpscRing::consume past the produced tail");
+    head_.store(head + count, std::memory_order_release);
+  }
+
   /// Queued sample count. Exact from the producer or consumer thread; from
   /// anywhere else a bounded estimate. Loading head BEFORE tail keeps the
   /// difference non-negative (tail read later can only be >= the head

@@ -24,6 +24,11 @@ void append_u64(std::string& out, std::uint64_t value) {
 std::string VerdictRecord::to_jsonl() const {
   std::string out;
   out.reserve(256);
+  append_jsonl(out);
+  return out;
+}
+
+void VerdictRecord::append_jsonl(std::string& out) const {
   out += "{\"sentry_verdict_schema\":";
   append_u64(out, static_cast<std::uint64_t>(kVerdictSchemaVersion));
   out += ",\"channel\":";
@@ -53,7 +58,6 @@ std::string VerdictRecord::to_jsonl() const {
   out += ",\"dropped\":";
   append_u64(out, dropped_before);
   out += "}";
-  return out;
 }
 
 }  // namespace ctc::sentry

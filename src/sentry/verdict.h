@@ -43,6 +43,11 @@ struct VerdictRecord {
 
   /// Renders the record as one JSON line (no trailing newline).
   std::string to_jsonl() const;
+
+  /// Appends the same line to `out` — the buffered-writer form: a channel's
+  /// whole verdict stream accumulates into one growing string with no
+  /// per-record temporary, and the bytes are identical to to_jsonl().
+  void append_jsonl(std::string& out) const;
 };
 
 }  // namespace ctc::sentry

@@ -43,25 +43,49 @@ OqpskDemodulator::OqpskDemodulator(std::size_t samples_per_chip)
 
 rvec OqpskDemodulator::soft_chips(std::span<const cplx> waveform,
                                   std::size_t num_chips) const {
+  rvec soft;
+  extend_soft_chips(waveform, num_chips, soft);
+  return soft;
+}
+
+void OqpskDemodulator::extend_soft_chips(std::span<const cplx> waveform,
+                                         std::size_t num_chips,
+                                         rvec& soft) const {
   const std::size_t spc = samples_per_chip_;
   CTC_REQUIRE_MSG(waveform.size() >= (num_chips + 1) * spc,
                   "waveform too short for requested chip count");
-  rvec soft(num_chips);
+  const std::size_t first = soft.size();
+  if (first >= num_chips) return;
+  // Even start keeps the sub-call's chip parity (I vs Q branch) aligned
+  // with the absolute chip index, so chip i's dot product is the one the
+  // full-stream call would have computed.
+  CTC_REQUIRE_MSG(first % 2 == 0, "soft-chip extension must start even");
+  soft.resize(num_chips);
   // Matched filter through the dispatched kernel (AVX2 deinterleaves the
   // waveform once and runs contiguous dot products against the pulse).
-  dsp::kernels::active().oqpsk_mf(waveform.data(), num_chips, spc,
-                                  pulse_.data(), pulse_.size(), pulse_energy_,
-                                  soft.data());
-  return soft;
+  dsp::kernels::active().oqpsk_mf(waveform.data() + first * spc,
+                                  num_chips - first, spc, pulse_.data(),
+                                  pulse_.size(), pulse_energy_,
+                                  soft.data() + first);
 }
 
 rvec OqpskDemodulator::frequency_chips(std::span<const cplx> waveform,
                                        std::size_t num_chips) const {
+  rvec chips;
+  extend_frequency_chips(waveform, num_chips, chips);
+  return chips;
+}
+
+void OqpskDemodulator::extend_frequency_chips(std::span<const cplx> waveform,
+                                              std::size_t num_chips,
+                                              rvec& chips) const {
   const std::size_t spc = samples_per_chip_;
   CTC_REQUIRE_MSG(waveform.size() >= (num_chips + 1) * spc,
                   "waveform too short for requested chip count");
-  rvec chips(num_chips, 0.0);
-  for (std::size_t i = 0; i < num_chips; ++i) {
+  const std::size_t first = chips.size();
+  if (first >= num_chips) return;
+  chips.resize(num_chips, 0.0);
+  for (std::size_t i = first; i < num_chips; ++i) {
     double rotation = 0.0;
     // Transitions spanning [i*spc, (i+1)*spc]: peak of chip i-1 to peak of
     // chip i.
@@ -73,7 +97,6 @@ rvec OqpskDemodulator::frequency_chips(std::span<const cplx> waveform,
     }
     chips[i] = rotation / (kPi / 2.0);  // clean MSK rotates +-pi/2 per chip
   }
-  return chips;
 }
 
 std::vector<std::uint8_t> OqpskDemodulator::hard_decision(

@@ -127,8 +127,21 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
   // agnostic but shares the equalized buffer for simplicity. Thread-local
   // scratch: receive() runs on every Monte Carlo trial, and this copy was
   // the per-trial allocation high-water mark.
+  //
+  // The copy (and the division below) is staged: only the header span is
+  // equalized up front; once the PHR reveals the frame length the buffer is
+  // extended to exactly the frame. Callers hand receive() a span sized for
+  // the LARGEST admissible frame (the scanner's bounded lookahead), so
+  // equalizing the whole span would process ~3.6x the samples a typical
+  // frame occupies. cdiv is elementwise, so the staged division rounds
+  // every sample exactly as the one-shot division did.
   thread_local cvec equalized;
-  equalized.assign(waveform.begin(), waveform.end());
+  const std::size_t header_samples = (header_chips + 1) * spc;
+  equalized.assign(waveform.begin(),
+                   waveform.begin() +
+                       static_cast<std::ptrdiff_t>(header_samples));
+  bool equalizer_applied = false;
+  cplx equalizer_h{1.0, 0.0};
   if (config_.equalize) {
     const std::size_t window = shr_chips * spc;
     const cplx correlation =
@@ -138,6 +151,8 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
     if (std::abs(h) > 1e-9) {
       result.channel_estimate = h;
       kt.cdiv(equalized.data(), equalized.size(), h);
+      equalizer_applied = true;
+      equalizer_h = h;
     }
     // Noise estimate from the residual r - h*ref over the SHR window.
     double residual_energy = 0.0;
@@ -155,13 +170,33 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
 
   const bool differential = config_.profile.demod == DemodKind::differential;
   const std::size_t threshold = config_.profile.correlation_threshold;
+
+  // Chip caches shared by the header pass, the defense taps, and the final
+  // despread. Both demodulations are per-chip, so extending a cache is
+  // bit-identical to the full-stream calls this code used to make — the
+  // header's chips are demodulated once instead of three times (header
+  // despread, full-frame tap, full-frame despread).
+  thread_local rvec freq_cache;
+  thread_local rvec soft_cache;
+  freq_cache.clear();
+  soft_cache.clear();
+  const auto freq_upto = [&](std::size_t num_chips) -> const rvec& {
+    demodulator_.extend_frequency_chips(equalized, num_chips, freq_cache);
+    return freq_cache;
+  };
+  const auto soft_upto = [&](std::size_t num_chips) -> const rvec& {
+    demodulator_.extend_soft_chips(equalized, num_chips, soft_cache);
+    return soft_cache;
+  };
   auto despread_stream = [&](std::size_t num_chips) {
     if (differential) {
-      const rvec chips = demodulator_.frequency_chips(equalized, num_chips);
-      return despread_differential(chips, threshold);
+      const rvec& chips = freq_upto(num_chips);
+      return despread_differential(
+          std::span<const double>(chips.data(), num_chips), threshold);
     }
-    const rvec soft = demodulator_.soft_chips(equalized, num_chips);
-    const auto hard = OqpskDemodulator::hard_decision(soft);
+    const rvec& soft = soft_upto(num_chips);
+    const auto hard = OqpskDemodulator::hard_decision(
+        std::span<const double>(soft.data(), num_chips));
     return despread(hard, threshold);
   };
 
@@ -197,11 +232,26 @@ ReceiveResult Receiver::receive(std::span<const cplx> waveform) const {
   result.phr_ok = true;
   CTC_TELEM_COUNT("zigbee_rx", "phr_ok", 1);
 
+  // The frame length is now known: extend the equalized buffer (copy +
+  // staged cdiv, same per-sample rounding) from the header to exactly the
+  // frame's samples.
+  const std::size_t frame_samples = (total_chips + 1) * spc;
+  equalized.insert(equalized.end(),
+                   waveform.begin() +
+                       static_cast<std::ptrdiff_t>(equalized.size()),
+                   waveform.begin() +
+                       static_cast<std::ptrdiff_t>(frame_samples));
+  if (equalizer_applied) {
+    kt.cdiv(equalized.data() + header_samples,
+            frame_samples - header_samples, equalizer_h);
+  }
+
   // Pass 2: the whole frame, so differential chip boundaries carry across
-  // the PHR/PSDU seam.
-  const rvec all_soft = demodulator_.soft_chips(equalized, total_chips);
+  // the PHR/PSDU seam. The caches already hold the header's chips; only the
+  // PSDU chips are demodulated here.
+  const rvec& all_soft = soft_upto(total_chips);
   result.soft_chips.assign(all_soft.begin() + header_chips, all_soft.end());
-  const rvec all_freq = demodulator_.frequency_chips(equalized, total_chips);
+  const rvec& all_freq = freq_upto(total_chips);
   result.freq_chips.assign(all_freq.begin() + header_chips, all_freq.end());
   result.hard_chips = OqpskDemodulator::hard_decision(result.soft_chips);
 

@@ -223,6 +223,40 @@ TEST(KernelsEquivalence, DotConjBitwise) {
   });
 }
 
+TEST(KernelsEquivalence, CorrManyBitwise) {
+  Rng rng = Rng::for_stream(1, 21);
+  // Strip widths spanning the 4-offset AVX2 blocking: sub-block, exact
+  // blocks, and block+tail combinations.
+  const std::vector<std::size_t> kStrips = {1, 2, 3, 4, 5, 7, 8, 9, 16, 31};
+  for_each_case([&](std::size_t n, std::size_t offset) {
+    for (std::size_t m : kStrips) {
+      const cvec x = random_cvec(rng, n + m + offset);
+      const cvec y = random_cvec(rng, n + offset);
+      cvec a(m), b(m);
+      scalar_table().corr_many(x.data() + offset, y.data() + offset, n, m,
+                               a.data());
+      best_table().corr_many(x.data() + offset, y.data() + offset, n, m,
+                             b.data());
+      expect_bitwise(a, b, "corr_many", n, offset);
+      // The strip contract: out[s] == dot_conj(a + s, b, n) bit for bit, at
+      // both levels (the scanner mixes strip sweeps with per-offset dots and
+      // relies on them agreeing exactly).
+      for (std::size_t s = 0; s < m; ++s) {
+        const cplx ds = scalar_table().dot_conj(x.data() + offset + s,
+                                                y.data() + offset, n);
+        const cplx db = best_table().dot_conj(x.data() + offset + s,
+                                              y.data() + offset, n);
+        EXPECT_EQ(std::memcmp(&a[s], &ds, sizeof(cplx)), 0)
+            << "corr_many[scalar] vs dot_conj n=" << n << " m=" << m
+            << " s=" << s << " offset=" << offset;
+        EXPECT_EQ(std::memcmp(&b[s], &db, sizeof(cplx)), 0)
+            << "corr_many[best] vs dot_conj n=" << n << " m=" << m
+            << " s=" << s << " offset=" << offset;
+      }
+    }
+  });
+}
+
 TEST(KernelsEquivalence, CumulantAccBitwise) {
   Rng rng = Rng::for_stream(1, 11);
   for_each_case([&](std::size_t n, std::size_t offset) {

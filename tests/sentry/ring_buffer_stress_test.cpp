@@ -51,6 +51,50 @@ TEST(SentryRingBufferStressTest, SpscSequenceSurvivesFreeRunningThreads) {
   EXPECT_TRUE(ring.empty());
 }
 
+TEST(SentryRingBufferStressTest, PeekConsumeSurvivesFreeRunningProducer) {
+  // The zero-copy drain protocol under contention: the consumer reads ring
+  // storage in place via peek() and only then retires with consume().
+  // TSan validates that the acquire on tail_ orders the producer's slot
+  // writes before the consumer's in-place reads, and that the release on
+  // head_ orders those reads before the producer reuses the slots.
+  SpscRing<std::uint64_t> ring(1u << 8);
+  constexpr std::uint64_t kTotal = 4'000'000;
+
+  std::thread producer([&] {
+    std::vector<std::uint64_t> block(29);
+    std::uint64_t next = 0;
+    while (next < kTotal) {
+      const std::uint64_t want = std::min<std::uint64_t>(block.size(),
+                                                         kTotal - next);
+      for (std::uint64_t i = 0; i < want; ++i) block[i] = next + i;
+      next += ring.try_push(
+          std::span<const std::uint64_t>(block.data(), want));
+    }
+  });
+
+  std::uint64_t expect = 0;
+  bool ordered = true;
+  while (expect < kTotal) {
+    const auto view = ring.peek(61);
+    for (const std::uint64_t value : view.first) {
+      ordered = ordered && value == expect;
+      ++expect;
+    }
+    for (const std::uint64_t value : view.second) {
+      ordered = ordered && value == expect;
+      ++expect;
+    }
+    ring.consume(view.total());
+  }
+  producer.join();
+
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(expect, kTotal);
+  EXPECT_EQ(ring.produced(), kTotal);
+  EXPECT_EQ(ring.consumed(), kTotal);
+  EXPECT_TRUE(ring.empty());
+}
+
 TEST(SentryRingBufferStressTest, ThirdThreadSizeReadsStayBounded) {
   SpscRing<std::uint64_t> ring(1u << 10);
   constexpr std::uint64_t kTotal = 1'000'000;

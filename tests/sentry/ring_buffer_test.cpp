@@ -83,6 +83,88 @@ TEST(SentryRingBufferTest, MonotonicTotalsBalance) {
   EXPECT_EQ(ring.size(), pushed - popped);
 }
 
+TEST(SentryRingBufferTest, PeekExposesQueuedItemsWithoutRetiring) {
+  SpscRing<int> ring(8);
+  std::vector<int> in{1, 2, 3, 4, 5};
+  ASSERT_EQ(ring.try_push(in), 5u);
+
+  const auto view = ring.peek(3);
+  ASSERT_EQ(view.total(), 3u);
+  EXPECT_EQ(view.first.size(), 3u);
+  EXPECT_TRUE(view.second.empty());
+  EXPECT_EQ(view.first[0], 1);
+  EXPECT_EQ(view.first[2], 3);
+  // Nothing retired yet: size and consumed() are unchanged, and a second
+  // peek sees the same items.
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.consumed(), 0u);
+  EXPECT_EQ(ring.peek(3).first[0], 1);
+
+  ring.consume(3);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.consumed(), 3u);
+  EXPECT_EQ(ring.peek(8).first[0], 4);
+}
+
+TEST(SentryRingBufferTest, PeekSplitsAcrossTheWraparound) {
+  SpscRing<int> ring(8);
+  // Advance head to 6 so a subsequent 5-item region wraps: physical slots
+  // [6,7] then [0,2].
+  std::vector<int> prime{0, 1, 2, 3, 4, 5};
+  ASSERT_EQ(ring.try_push(prime), 6u);
+  std::vector<int> sink(6);
+  ASSERT_EQ(ring.try_pop(sink), 6u);
+  std::vector<int> wrapped{10, 11, 12, 13, 14};
+  ASSERT_EQ(ring.try_push(wrapped), 5u);
+
+  const auto view = ring.peek(5);
+  ASSERT_EQ(view.total(), 5u);
+  ASSERT_EQ(view.first.size(), 2u);
+  ASSERT_EQ(view.second.size(), 3u);
+  EXPECT_EQ(view.first[0], 10);
+  EXPECT_EQ(view.first[1], 11);
+  EXPECT_EQ(view.second[0], 12);
+  EXPECT_EQ(view.second[2], 14);
+
+  // Partial consume moves the split point: the remainder is contiguous.
+  ring.consume(2);
+  const auto rest = ring.peek(5);
+  ASSERT_EQ(rest.total(), 3u);
+  EXPECT_EQ(rest.first.size(), 3u);
+  EXPECT_EQ(rest.first[0], 12);
+  ring.consume(3);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SentryRingBufferTest, PeekConsumeAccountingMatchesTryPop) {
+  SpscRing<int> ring(16);
+  std::vector<int> in(10);
+  std::iota(in.begin(), in.end(), 0);
+  std::size_t pushed = 0;
+  std::size_t consumed = 0;
+  for (int round = 0; round < 50; ++round) {
+    pushed += ring.try_push(in);
+    const auto view = ring.peek(7);
+    consumed += view.total();
+    ring.consume(view.total());
+  }
+  EXPECT_EQ(ring.produced(), pushed);
+  EXPECT_EQ(ring.consumed(), consumed);
+  EXPECT_EQ(ring.size(), pushed - consumed);
+}
+
+TEST(SentryRingBufferTest, PeekEmptyAndConsumePastTailAreHandled) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.peek(4).empty());
+  EXPECT_EQ(ring.peek(4).total(), 0u);
+  ring.consume(0);  // consuming nothing is a no-op
+  std::vector<int> in{1, 2};
+  ASSERT_EQ(ring.try_push(in), 2u);
+  EXPECT_THROW(ring.consume(3), ContractError);
+  EXPECT_NO_THROW(ring.consume(2));
+  EXPECT_TRUE(ring.empty());
+}
+
 TEST(SentryRingBufferTest, PopFromEmptyAndPushEmptySpanAreNoOps) {
   SpscRing<int> ring(4);
   std::vector<int> out(4);

@@ -152,6 +152,82 @@ TEST(SentryServiceTest, OverloadDropAccountingIsExact) {
   EXPECT_EQ(again.verdicts_jsonl, report.verdicts_jsonl);
 }
 
+TEST(SentryServiceTest, SchedulersAgreeByteForByteWithoutOverload) {
+  // When nothing drops, the DRR deficit floor covers every channel's whole
+  // backlog each round, so the deficit-round-robin schedule degenerates to
+  // lockstep — verdict bytes must agree across both schedulers and any
+  // shard count.
+  const LinkSourceConfig stream = stream_config();
+  ServiceConfig config;
+  config.channels = 5;
+  config.scheduler = DrainScheduler::lockstep;
+  const ServiceReport lockstep =
+      SentryService(config, live_factory(stream)).run();
+  ASSERT_GT(lockstep.total_verdicts(), 0u);
+  ASSERT_EQ(lockstep.total_dropped(), 0u);
+
+  config.scheduler = DrainScheduler::deficit_round_robin;
+  for (const std::size_t shards : {1UL, 2UL, 5UL}) {
+    config.shards = shards;
+    const ServiceReport drr = SentryService(config, live_factory(stream)).run();
+    EXPECT_EQ(drr.verdicts_jsonl, lockstep.verdicts_jsonl)
+        << "shards=" << shards;
+  }
+}
+
+TEST(SentryServiceTest, DrrMatchesLockstepOnSingleChannelOverload) {
+  // A one-channel shard earns weight 1 every round, so DRR reduces exactly
+  // to lockstep even when the ring overflows: same drops, same bytes.
+  const cvec capture = channel_stream(stream_config(4), 0);
+  ServiceConfig config;
+  config.channels = 1;
+  config.channel.ring_capacity = 1u << 10;
+  config.channel.ingest_block = 1024;
+  config.channel.drain_block = 256;
+  const auto replay_factory = [&capture](std::size_t) {
+    return std::make_unique<ReplaySource>(capture);
+  };
+
+  config.scheduler = DrainScheduler::lockstep;
+  const ServiceReport lockstep = SentryService(config, replay_factory).run();
+  config.scheduler = DrainScheduler::deficit_round_robin;
+  const ServiceReport drr = SentryService(config, replay_factory).run();
+
+  ASSERT_GT(lockstep.channels[0].dropped, 0u);
+  EXPECT_EQ(drr.channels[0].dropped, lockstep.channels[0].dropped);
+  EXPECT_EQ(drr.verdicts_jsonl, lockstep.verdicts_jsonl);
+}
+
+TEST(SentryServiceTest, DrrKeepsEveryChannelDrainingUnderOverload) {
+  // Shared-shard overload: the weight floor of one block per round means
+  // no backlogged channel starves — every channel keeps taking drain
+  // turns, keeps exact books, and still lands verdicts.
+  const cvec capture = channel_stream(stream_config(4), 0);
+  ServiceConfig config;
+  config.channels = 3;
+  config.shards = 1;
+  config.channel.ring_capacity = 1u << 10;
+  config.channel.ingest_block = 1024;
+  config.channel.drain_block = 256;
+  const auto replay_factory = [&capture](std::size_t) {
+    return std::make_unique<ReplaySource>(capture);
+  };
+  const ServiceReport report = SentryService(config, replay_factory).run();
+
+  ASSERT_GT(report.total_dropped(), 0u);
+  ASSERT_GT(report.total_verdicts(), 0u);
+  for (const ChannelReport& channel : report.channels) {
+    EXPECT_GT(channel.drain_turns, 0u);
+    EXPECT_GT(channel.scanner.verdicts, 0u);
+    EXPECT_EQ(channel.accepted + channel.dropped, channel.ingested);
+    EXPECT_EQ(channel.scanner.samples_in, channel.accepted);
+  }
+
+  // The round structure is deterministic: a rerun reproduces the bytes.
+  const ServiceReport again = SentryService(config, replay_factory).run();
+  EXPECT_EQ(again.verdicts_jsonl, report.verdicts_jsonl);
+}
+
 TEST(SentryServiceTest, CountersMatchReportAfterJoin) {
   ServiceConfig config;
   config.channels = 3;

@@ -51,6 +51,60 @@ TEST(OqpskModulatorTest, ConstantEnvelopeInSteadyState) {
   }
 }
 
+TEST(OqpskDemodulatorTest, ExtendedSoftChipsAreBitIdenticalToFullCompute) {
+  // The receiver demodulates the header span first and extends to the full
+  // frame once the PHR is known; incremental extension must reproduce the
+  // one-shot computation bit for bit (per-chip locality of the matched
+  // filter), at any even stage boundary.
+  const OqpskDemodulator demodulator(2);
+  const OqpskModulator modulator(2);
+  const auto chips = random_chips(96, 3);
+  const cvec wave = modulator.modulate(chips);
+  const rvec full = demodulator.soft_chips(wave, chips.size());
+
+  for (const std::size_t stage : {0UL, 2UL, 40UL, 96UL}) {
+    rvec staged;
+    demodulator.extend_soft_chips(wave, stage, staged);
+    demodulator.extend_soft_chips(wave, chips.size(), staged);
+    ASSERT_EQ(staged.size(), full.size()) << "stage=" << stage;
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_EQ(staged[i], full[i]) << "stage=" << stage << " chip=" << i;
+    }
+  }
+  // Re-requesting an already-computed prefix leaves the buffer untouched.
+  rvec done = full;
+  demodulator.extend_soft_chips(wave, 10, done);
+  EXPECT_EQ(done.size(), full.size());
+}
+
+TEST(OqpskDemodulatorTest, ExtendedFrequencyChipsAreBitIdenticalToFullCompute) {
+  const OqpskDemodulator demodulator(2);
+  const OqpskModulator modulator(2);
+  const auto chips = random_chips(96, 4);
+  const cvec wave = modulator.modulate(chips);
+  const rvec full = demodulator.frequency_chips(wave, chips.size());
+
+  for (const std::size_t stage : {0UL, 2UL, 40UL, 96UL}) {
+    rvec staged;
+    demodulator.extend_frequency_chips(wave, stage, staged);
+    demodulator.extend_frequency_chips(wave, chips.size(), staged);
+    ASSERT_EQ(staged.size(), full.size()) << "stage=" << stage;
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_EQ(staged[i], full[i]) << "stage=" << stage << " chip=" << i;
+    }
+  }
+}
+
+TEST(OqpskDemodulatorTest, OddSoftChipExtensionIsRejected) {
+  // An odd start would flip the I/Q parity of every subsequent chip; the
+  // contract requires even stage boundaries.
+  const OqpskDemodulator demodulator(2);
+  const OqpskModulator modulator(2);
+  const cvec wave = modulator.modulate(random_chips(8, 5));
+  rvec odd(3, 0.0);
+  EXPECT_THROW(demodulator.extend_soft_chips(wave, 8, odd), ContractError);
+}
+
 class OqpskRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(OqpskRoundTripTest, SoftChipsRecoverChipSigns) {

@@ -150,9 +150,18 @@ def _perf_throughput(report: dict) -> float | None:
 
 
 def _single_thread_throughput(report: dict, bench: str) -> float | None:
-    """trials / single-thread wall ms for a report of ``bench``, else None."""
+    """Single-thread throughput for a report of ``bench``, else None.
+
+    perf_sentry reports carry their single-channel rate directly as
+    ``sustained_msamples_per_sec``; everything else derives
+    trials / single-thread wall ms."""
     if report.get("bench") != bench:
         return None
+    if bench == "perf_sentry":
+        sustained = report.get("sustained_msamples_per_sec")
+        if not isinstance(sustained, (int, float)) or sustained <= 0:
+            return None
+        return float(sustained)
     trials = report.get("trials")
     wall_ms = report.get("wall_ms_threads1", report.get("wall_ms_wide"))
     if not isinstance(trials, (int, float)) or not isinstance(wall_ms, (int, float)):

@@ -48,6 +48,8 @@ struct CliOptions {
   std::size_t max_psdu = zigbee::kMaxPsduBytes;
   std::uint64_t seed = 0x5EA15EA1;
   std::uint64_t snapshot_every_ms = 0;  // 0 = no snapshots
+  sentry::DrainScheduler scheduler =
+      sentry::DrainScheduler::deficit_round_robin;
   bool telemetry = false;
   std::string telemetry_out;
   // replay
@@ -80,6 +82,9 @@ struct CliOptions {
       "  --ingest-block=N    samples pulled from the source per step (4096)\n"
       "  --drain-block=N     samples handed to the scanner per step (4096);\n"
       "                      smaller than --ingest-block forces overload\n"
+      "  --sched=MODE        drain scheduler: drr (deficit round-robin,\n"
+      "                      default) or lockstep (shard-invariant overload\n"
+      "                      reference; see docs/SENTRY.md)\n"
       "  --rate=S            pace ingestion to S samples/sec (default: as\n"
       "                      fast as possible)\n"
       "  --threshold=Q       detector DE^2 threshold (default 0.2)\n"
@@ -190,6 +195,16 @@ CliOptions parse_cli(int argc, char** argv) {
       options.seed = parse_u64(value, "--seed");
     } else if (flag_value(argc, argv, i, "--snapshot-every-ms", &value)) {
       options.snapshot_every_ms = parse_u64(value, "--snapshot-every-ms");
+    } else if (flag_value(argc, argv, i, "--sched", &value)) {
+      if (std::strcmp(value, "drr") == 0) {
+        options.scheduler = sentry::DrainScheduler::deficit_round_robin;
+      } else if (std::strcmp(value, "lockstep") == 0) {
+        options.scheduler = sentry::DrainScheduler::lockstep;
+      } else {
+        std::fprintf(stderr, "invalid value for --sched: %s "
+                             "(drr or lockstep)\n", value);
+        std::exit(2);
+      }
     } else if (size_flag("--channels", options.channels) ||
                size_flag("--shards", options.shards) ||
                size_flag("--ring", options.ring) ||
@@ -247,6 +262,7 @@ int main(int argc, char** argv) {
   sentry::ServiceConfig config;
   config.channels = options.channels;
   config.shards = options.shards;
+  config.scheduler = options.scheduler;
   config.channel.ring_capacity = options.ring;
   config.channel.ingest_block = options.ingest_block;
   config.channel.drain_block = options.drain_block;

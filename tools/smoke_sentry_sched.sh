@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Drain-scheduler smoke for the sentry service: the deficit-round-robin
+# scheduler (default) must be byte-identical to the lockstep reference
+# whenever nothing drops and on single-channel overload, must be
+# deterministic run to run, and must not starve any channel when a shared
+# shard is overloaded (see docs/SENTRY.md).
+#
+# usage: smoke_sentry_sched.sh <build_dir> <source_dir>
+set -euo pipefail
+
+build_dir=${1:?usage: smoke_sentry_sched.sh <build_dir> <source_dir>}
+cli="$build_dir/tools/ctc_sentry"
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$cli" live --frames=8 --attack-every=3 --snr-db=15 --seed=90210 \
+  --capture-out="$work/air.cf32" > "$work/live.jsonl"
+
+# 1. No overload: DRR degenerates to lockstep (the deficit floor covers
+#    every channel's whole backlog each round) at any shard count.
+"$cli" replay --capture="$work/air.cf32" --channels=3 --sched=lockstep \
+  > "$work/nodrop.lockstep.jsonl"
+for shards in 1 2 3; do
+  "$cli" replay --capture="$work/air.cf32" --channels=3 --shards="$shards" \
+    --sched=drr > "$work/nodrop.drr.s$shards.jsonl"
+  if ! cmp -s "$work/nodrop.lockstep.jsonl" "$work/nodrop.drr.s$shards.jsonl"; then
+    echo "FAIL: no-drop DRR (shards=$shards) differs from lockstep" >&2
+    diff "$work/nodrop.lockstep.jsonl" "$work/nodrop.drr.s$shards.jsonl" >&2 || true
+    exit 1
+  fi
+done
+verdicts=$(wc -l < "$work/nodrop.lockstep.jsonl")
+if [ "$verdicts" -eq 0 ]; then
+  echo "FAIL: no-drop replay produced no verdicts (gate is vacuous)" >&2
+  exit 1
+fi
+
+# 2. Single-channel overload: a one-channel shard earns weight 1 every
+#    round, so DRR reduces exactly to lockstep even while the ring drops.
+overload="--ring=1024 --ingest-block=1024 --drain-block=256"
+"$cli" replay --capture="$work/air.cf32" $overload --sched=lockstep \
+  > "$work/one.lockstep.jsonl"
+"$cli" replay --capture="$work/air.cf32" $overload --sched=drr \
+  > "$work/one.drr.jsonl"
+if ! cmp -s "$work/one.lockstep.jsonl" "$work/one.drr.jsonl"; then
+  echo "FAIL: single-channel overload DRR differs from lockstep" >&2
+  diff "$work/one.lockstep.jsonl" "$work/one.drr.jsonl" >&2 || true
+  exit 1
+fi
+
+# 3. Shared-shard overload: three channels on one worker with the ring
+#    dropping. The weight floor of one block per round means every channel
+#    keeps draining — each must land at least one verdict — and the round
+#    structure is deterministic, so two runs agree byte for byte.
+"$cli" replay --capture="$work/air.cf32" --channels=3 --shards=1 $overload \
+  --sched=drr > "$work/multi.drr.a.jsonl"
+"$cli" replay --capture="$work/air.cf32" --channels=3 --shards=1 $overload \
+  --sched=drr > "$work/multi.drr.b.jsonl"
+if ! cmp -s "$work/multi.drr.a.jsonl" "$work/multi.drr.b.jsonl"; then
+  echo "FAIL: multi-channel overload DRR is not deterministic" >&2
+  diff "$work/multi.drr.a.jsonl" "$work/multi.drr.b.jsonl" >&2 || true
+  exit 1
+fi
+for ch in 0 1 2; do
+  count=$(grep -c "\"channel\":$ch," "$work/multi.drr.a.jsonl" || true)
+  if [ "$count" -eq 0 ]; then
+    echo "FAIL: channel $ch starved under overloaded DRR (no verdicts)" >&2
+    exit 1
+  fi
+done
+
+echo "sentry scheduler smoke: PASS ($verdicts no-drop verdicts;" \
+     "DRR==lockstep without drops and on single-channel overload;" \
+     "no starvation on a shared overloaded shard)"

@@ -205,6 +205,22 @@ class TrajectoryTestCase(unittest.TestCase):
         self.assertEqual(self.check(require_speedup=["perf_engine>=2.5"]), 0)
         self.assertEqual(self.check(require_speedup=["perf_engine>=3"]), 1)
 
+    def test_require_speedup_reads_sentry_sustained_rate(self) -> None:
+        # perf_sentry has no trials/wall fields; the gate reads the
+        # sustained single-channel Msamples/s directly.
+        pre = {"bench": "perf_sentry", "sustained_msamples_per_sec": 4.0}
+        post = {"bench": "perf_sentry", "sustained_msamples_per_sec": 9.0}
+        self.append(pre, "pre", machine="m")
+        self.append(post, "post", machine="m")
+        self.assertEqual(self.check(require_speedup=["perf_sentry>=2"]), 0)
+        self.assertEqual(self.check(require_speedup=["perf_sentry>=3"]), 1)
+        # A report with a missing or non-positive rate is not a usable run.
+        self.assertIsNone(bench_trajectory._single_thread_throughput(
+            {"bench": "perf_sentry"}, "perf_sentry"))
+        self.assertIsNone(bench_trajectory._single_thread_throughput(
+            {"bench": "perf_sentry", "sustained_msamples_per_sec": 0.0},
+            "perf_sentry"))
+
     def test_require_speedup_fails_without_a_baseline(self) -> None:
         # No run at all, then a run with no same-machine predecessor: both
         # must fail — the gate certifies a recorded pair.
